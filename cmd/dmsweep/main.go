@@ -1,0 +1,178 @@
+// Command dmsweep runs parameter sweeps over the kernels and prints CSV
+// series — the raw data behind EXPERIMENTS.md's figures. Each row is one
+// (kernel variant, m, N) point with the simulated makespan, words on the
+// wire, and the most-loaded processor's flops.
+//
+// Usage:
+//
+//	dmsweep -sweep sor     -m 32,64,128 -n 4,8
+//	dmsweep -sweep gauss   -m 64,128    -n 4,8,16
+//	dmsweep -sweep jacobi  -m 64,128    -n 16
+//	dmsweep -sweep stencil -m 64,256    -n 16
+//	dmsweep -sweep chunks  -m 64        -n 4   (SOR chunk-size x alpha)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dmcc/internal/kernels"
+	"dmcc/internal/machine"
+	"dmcc/internal/matrix"
+)
+
+func main() {
+	sweep := flag.String("sweep", "sor", "sor, gauss, jacobi, stencil, chunks")
+	ms := flag.String("m", "32,64,128", "comma-separated problem sizes")
+	ns := flag.String("n", "4,8", "comma-separated processor counts")
+	flag.Parse()
+
+	mList, err := parseInts(*ms)
+	if err != nil {
+		fail(err)
+	}
+	nList, err := parseInts(*ns)
+	if err != nil {
+		fail(err)
+	}
+	if err := run(*sweep, mList, nList); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "dmsweep: %v\n", err)
+	os.Exit(1)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func emitHeader() {
+	fmt.Println("variant,m,n,simtime,words,maxflops")
+}
+
+func emit(variant string, m, n int, st machine.Stats) {
+	fmt.Printf("%s,%d,%d,%.0f,%d,%d\n", variant, m, n, st.ParallelTime, st.Words, st.MaxFlops())
+}
+
+func run(sweep string, mList, nList []int) error {
+	cfg := machine.DefaultConfig()
+	emitHeader()
+	switch sweep {
+	case "sor":
+		for _, m := range mList {
+			for _, n := range nList {
+				a, b, _ := matrix.DiagonallyDominant(m, 1)
+				x0 := make([]float64, m)
+				naive, err := kernels.SORNaive(cfg, a, b, x0, 1.2, 2, n)
+				if err != nil {
+					return err
+				}
+				pip, err := kernels.SORPipelined(cfg, a, b, x0, 1.2, 2, n)
+				if err != nil {
+					return err
+				}
+				emit("sor-naive", m, n, naive.Stats)
+				emit("sor-pipelined", m, n, pip.Stats)
+			}
+		}
+	case "gauss":
+		for _, m := range mList {
+			for _, n := range nList {
+				a, b, _ := matrix.DiagonallyDominant(m, 1)
+				bc, err := kernels.GaussBroadcast(cfg, a, b, n)
+				if err != nil {
+					return err
+				}
+				pp, err := kernels.GaussPipelined(cfg, a, b, n)
+				if err != nil {
+					return err
+				}
+				pv, err := kernels.GaussPartialPivot(cfg, a, b, n)
+				if err != nil {
+					return err
+				}
+				emit("gauss-broadcast", m, n, bc.Stats)
+				emit("gauss-pipelined", m, n, pp.Stats)
+				emit("gauss-pivoting", m, n, pv.Stats)
+			}
+		}
+	case "jacobi":
+		for _, m := range mList {
+			for _, n := range nList {
+				a, b, _ := matrix.DiagonallyDominant(m, 1)
+				x0 := make([]float64, m)
+				for _, shape := range [][2]int{{1, n}, {n, 1}} {
+					res, err := kernels.JacobiGrid(cfg, a, b, x0, 2, shape[0], shape[1])
+					if err != nil {
+						return err
+					}
+					emit(fmt.Sprintf("jacobi-%dx%d", shape[0], shape[1]), m, n, res.Stats)
+				}
+			}
+		}
+	case "stencil":
+		for _, m := range mList {
+			for _, n := range nList {
+				u0 := matrix.RandomDense(m, m, 1)
+				if sq := isqrt(n); sq*sq == n {
+					_, st, err := kernels.Stencil2D(cfg, u0, 4, sq, sq)
+					if err != nil {
+						return err
+					}
+					emit("stencil2d-square", m, n, st)
+				}
+				_, st, err := kernels.Stencil2D(cfg, u0, 4, 1, n)
+				if err != nil {
+					return err
+				}
+				emit("stencil2d-strip", m, n, st)
+			}
+		}
+	case "chunks":
+		for _, m := range mList {
+			for _, n := range nList {
+				a, b, _ := matrix.DiagonallyDominant(m, 1)
+				x0 := make([]float64, m)
+				for _, alpha := range []float64{0, 16} {
+					for chunk := 1; chunk <= m/n; chunk *= 2 {
+						if (m/n)%chunk != 0 {
+							continue
+						}
+						c := cfg
+						c.Alpha = alpha
+						res, err := kernels.SORPipelinedChunked(c, a, b, x0, 1.2, 2, n, chunk)
+						if err != nil {
+							return err
+						}
+						emit(fmt.Sprintf("sor-chunk%d-alpha%.0f", chunk, alpha), m, n, res.Stats)
+					}
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("unknown sweep %q", sweep)
+	}
+	return nil
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,3 @@
+module dmcc
+
+go 1.22

@@ -1,0 +1,184 @@
+// Cross-validation tests: the compiler's analytic machinery (the exact
+// enumeration counter and the closed-form cost model) checked against
+// what the executing kernels actually do on the simulated machine. These
+// are the consistency guarantees behind EXPERIMENTS.md: if the counter
+// and the machine disagreed, the DP would be optimizing a fiction.
+package dmcc_test
+
+import (
+	"math"
+	"testing"
+
+	"dmcc/internal/cost"
+	"dmcc/internal/dist"
+	"dmcc/internal/grid"
+	"dmcc/internal/ir"
+	"dmcc/internal/kernels"
+	"dmcc/internal/machine"
+	"dmcc/internal/matrix"
+)
+
+// TestCounterMatchesMachineJacobiRowScheme: the enumeration counter's
+// loop-carried word count for the row scheme must equal the words the
+// kernel actually ships per iteration.
+func TestCounterMatchesMachineJacobiRowScheme(t *testing.T) {
+	m, n, iters := 32, 4, 3
+	p := ir.Jacobi()
+	g := grid.New(n, 1)
+	bind := map[string]int{"m": m}
+	schemes := map[string]dist.Scheme{
+		"A": dist.Scheme2D(dist.BlockContiguous(m, n, 0), dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil),
+		"V": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+		"B": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+		"X": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+	}
+
+	// Counted: X reads of L1 are the only remote words per iteration.
+	var counted int64
+	for _, nest := range p.Nests {
+		ct, err := cost.CountNest(p, nest, schemes, g, bind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counted += ct.Words()
+	}
+
+	// Measured: the kernel's total words divided by iterations.
+	a, b, _ := matrix.DiagonallyDominant(m, 9)
+	x0 := make([]float64, m)
+	res, err := kernels.JacobiGrid(machine.DefaultConfig(), a, b, x0, iters, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIter := res.Stats.Words / int64(iters)
+	if counted != perIter {
+		t.Errorf("counter says %d words/iter, machine moved %d", counted, perIter)
+	}
+}
+
+// TestCounterMatchesMachineFlops: total flops agree between the counter
+// and the executing kernel (both count 2 per multiply-add and 3 for the
+// X update).
+func TestCounterMatchesMachineFlops(t *testing.T) {
+	m, n := 16, 4
+	p := ir.Jacobi()
+	g := grid.New(n, 1)
+	bind := map[string]int{"m": m}
+	schemes := map[string]dist.Scheme{
+		"A": dist.Scheme2D(dist.BlockContiguous(m, n, 0), dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil),
+		"V": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+		"B": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+		"X": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+	}
+	var counted int64
+	for _, nest := range p.Nests {
+		ct, err := cost.CountNest(p, nest, schemes, g, bind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counted += ct.TotalFlops
+	}
+	a, b, _ := matrix.DiagonallyDominant(m, 9)
+	x0 := make([]float64, m)
+	res, err := kernels.JacobiGrid(machine.DefaultConfig(), a, b, x0, 1, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counted != res.Stats.Flops {
+		t.Errorf("counter %d flops, machine %d", counted, res.Stats.Flops)
+	}
+}
+
+// TestClosedFormTracksMachineJacobi: the Table 2 closed forms and the
+// simulated makespans must order the grid shapes identically and agree
+// on the 1xN shape (whose collectives map 1:1 onto the formula terms).
+func TestClosedFormTracksMachineJacobi(t *testing.T) {
+	m, n, iters := 64, 16, 2
+	a, b, _ := matrix.DiagonallyDominant(m, 21)
+	x0 := make([]float64, m)
+	c := cost.Unit()
+
+	type point struct {
+		model, sim float64
+	}
+	shapes := [][2]int{{1, n}, {n, 1}}
+	pts := map[string]point{}
+	for _, s := range shapes {
+		res, err := kernels.JacobiGrid(machine.DefaultConfig(), a, b, x0, iters, s[0], s[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts[key(s)] = point{
+			model: c.JacobiIteration(m, s[0], s[1]).Total() * float64(iters),
+			sim:   res.Stats.ParallelTime,
+		}
+	}
+	// Exact agreement on 1xN: reduction + update + no row exchange.
+	p1 := pts["1x16"]
+	if math.Abs(p1.model-p1.sim) > 1e-9 {
+		t.Errorf("1xN: model %v != simulated %v", p1.model, p1.sim)
+	}
+	// Same winner under both measures.
+	p2 := pts["16x1"]
+	if (p1.model < p2.model) != (p1.sim < p2.sim) {
+		t.Errorf("model and machine disagree on the winner: model %v/%v, sim %v/%v",
+			p1.model, p2.model, p1.sim, p2.sim)
+	}
+}
+
+func key(s [2]int) string {
+	return fmtInt(s[0]) + "x" + fmtInt(s[1])
+}
+
+func fmtInt(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+// TestSORBoundHolds: the Section 5 closed-form bound dominates the
+// measured pipelined makespan across sizes (after adding the update
+// flops the bound omits).
+func TestSORBoundHolds(t *testing.T) {
+	c := cost.Unit()
+	for _, mn := range [][2]int{{32, 4}, {64, 4}, {64, 8}} {
+		m, n := mn[0], mn[1]
+		a, b, _ := matrix.DiagonallyDominant(m, 25)
+		x0 := make([]float64, m)
+		res, err := kernels.SORPipelined(machine.DefaultConfig(), a, b, x0, 1.2, 2, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perIter := res.Stats.ParallelTime / 2
+		bound := c.SORPipelinedIteration(m, n).Total() + 5*float64(m) // update flops
+		if perIter > bound {
+			t.Errorf("m=%d n=%d: measured %v exceeds bound %v", m, n, perIter, bound)
+		}
+	}
+}
+
+// TestRedistributionPlanMatchesChangeCost: the dist-level redistribution
+// plan and the compiler's ChangeCost agree on what a row->column switch
+// moves for the A matrix.
+func TestRedistributionPlanMatchesChangeCost(t *testing.T) {
+	m, n := 16, 4
+	g := grid.New(n, 1)
+	rows := dist.Scheme2D(dist.BlockContiguous(m, n, 0), dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil)
+	cols := dist.Scheme2D(dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, dist.BlockContiguous(m, n, 0), nil)
+	plan := dist.NewPlan(g, []int{m, m}, rows, cols)
+	// Off-diagonal blocks move: m^2 (1 - 1/N).
+	want := m*m - m*(m/n)
+	if plan.TotalWords != want {
+		t.Errorf("plan moves %d words, want %d", plan.TotalWords, want)
+	}
+	// Perfectly balanced: per-proc in = out = total/N.
+	if plan.MaxInWords != want/n || plan.MaxOutWords != want/n {
+		t.Errorf("plan balance: in %d out %d, want %d", plan.MaxInWords, plan.MaxOutWords, want/n)
+	}
+}

@@ -1,0 +1,303 @@
+// Package align implements the component-alignment method of Section 3
+// (after Li & Chen [14]): build a component affinity graph whose nodes are
+// array dimensions and whose weighted edges are the communication costs
+// incurred if two dimensions are distributed along different grid
+// dimensions, then partition the nodes into q subsets minimizing the cut,
+// with the restriction that no two dimensions of the same array share a
+// subset.
+package align
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dmcc/internal/ir"
+)
+
+// Edge is an affinity relation between two array dimensions. Following
+// the paper, the direction (From = read, To = written) records the data
+// flow under the owner-computes rule; the weight is what the cut costs.
+type Edge struct {
+	From, To ir.DimID
+	Weight   float64
+	// Lines lists the statement lines contributing to this edge.
+	Lines []int
+}
+
+// Graph is a component affinity graph.
+type Graph struct {
+	Nodes []ir.DimID
+	Edges []Edge
+	index map[ir.DimID]int
+	// ArrayDims groups node positions by array, for the alignment
+	// constraint.
+	ArrayDims map[string][]int
+}
+
+// NodeIndex returns the position of a node.
+func (g *Graph) NodeIndex(d ir.DimID) (int, bool) {
+	i, ok := g.index[d]
+	return i, ok
+}
+
+// WeightParams control the numeric edge-weight estimation. Following the
+// two-step approach quoted in Section 2.2 (Gupta & Banerjee), weights are
+// computed assuming N1 = ... = Nq = N processors per grid dimension.
+type WeightParams struct {
+	// Bind gives values to size parameters, e.g. {"m": 512}.
+	Bind map[string]int
+	// N is the assumed processor count per grid dimension.
+	N int
+	// Tc is the per-word transfer time multiplying all weights.
+	Tc float64
+}
+
+// DefaultWeightParams uses m=512, N=16, tc=1.
+func DefaultWeightParams() WeightParams {
+	return WeightParams{Bind: map[string]int{"m": 512}, N: 16, Tc: 1}
+}
+
+// BuildGraph constructs the component affinity graph of the given nests
+// (pass all of a program's nests for the Section 3 whole-program graph,
+// or a single nest for the per-loop graphs of Section 4).
+//
+// For every statement, every pair of references to *different* arrays
+// (the written reference and every read, and reads among themselves — the
+// paper's c2 edge connects A2 with X, both reads of line 5) and every
+// dimension pair whose subscripts differ by a constant contributes an
+// affinity edge. The edge weight estimates the communication cost if the
+// two dimensions are NOT aligned: the cheaper-to-move reference of the
+// pair ("the mover": a read, never the LHS, by owner-computes) must
+// travel, so
+//
+//	vol(R)     = number of distinct elements of R the statement touches
+//	reuse(R)   = product of extents of in-scope loops absent from R's
+//	             subscripts (iterations reusing each element)
+//	weight     = vol * Tc                      if reuse <= 1
+//	           = vol * Tc * (1 + log2 N)       otherwise (multicast)
+//
+// which reproduces the magnitude ordering of the paper's hand-derived
+// weights: c1 = ManyToManyMulticast(m^2/N, N) ~ m^2 for moving A versus
+// c2 = ManyToManyMulticast(m/N, N1) + OneToManyMulticast(m, N2)
+// ~ m(1 + log N) for moving X, and c1 > c4 as the paper notes.
+func BuildGraph(p *ir.Program, nests []*ir.Nest, wp WeightParams) (*Graph, error) {
+	g := &Graph{index: map[ir.DimID]int{}, ArrayDims: map[string][]int{}}
+	for _, d := range p.AllDims() {
+		g.index[d] = len(g.Nodes)
+		g.ArrayDims[d.Array] = append(g.ArrayDims[d.Array], len(g.Nodes))
+		g.Nodes = append(g.Nodes, d)
+	}
+	type key struct{ from, to ir.DimID }
+	acc := map[key]*Edge{}
+	for _, nest := range nests {
+		for _, st := range nest.Stmts {
+			lhsVars := map[string]bool{}
+			for _, s := range st.LHS.Subs {
+				for _, v := range s.Vars() {
+					lhsVars[v] = true
+				}
+			}
+			floating := func(r ir.Ref) bool {
+				for _, s := range r.Subs {
+					for _, v := range s.Vars() {
+						if lhsVars[v] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			refs := dedupRefs(append([]ir.Ref{st.LHS}, st.Reads...))
+			for a := 0; a < len(refs); a++ {
+				for b := a + 1; b < len(refs); b++ {
+					ra, rb := refs[a], refs[b]
+					if ra.Array == rb.Array {
+						// Dimensions of one array may never share a
+						// subset; an intra-array edge would always be
+						// cut, so the paper's graphs omit them.
+						continue
+					}
+					// The mover is never the LHS (owner computes). Among
+					// two reads, an affinity edge only helps when one ref
+					// is fully floating (no subscript variable shared
+					// with the LHS): aligning the floating ref with the
+					// anchored one makes it local, which is exactly the
+					// paper's c2 edge between A2 and X in line 5. A pair
+					// of partially-anchored reads (like L(i,k) and A(k,j)
+					// in Gauss line 7) must both travel to the LHS owner
+					// no matter how they align, so no edge is added.
+					var mover ir.Ref
+					switch {
+					case a == 0:
+						mover = rb
+					case floating(ra) && floating(rb):
+						va, err := moveCost(nest, st, ra, wp)
+						if err != nil {
+							return nil, err
+						}
+						vb, err := moveCost(nest, st, rb, wp)
+						if err != nil {
+							return nil, err
+						}
+						if va <= vb {
+							mover = ra
+						} else {
+							mover = rb
+						}
+					case floating(ra):
+						mover = ra
+					case floating(rb):
+						mover = rb
+					default:
+						continue
+					}
+					w, err := moveCost(nest, st, mover, wp)
+					if err != nil {
+						return nil, err
+					}
+					stay := ra
+					if mover.Array == ra.Array {
+						stay = rb
+					}
+					for k2, msub := range mover.Subs {
+						for k1, ssub := range stay.Subs {
+							if _, ok := ssub.ConstDiff(msub); !ok {
+								continue
+							}
+							if ssub.IsConst() {
+								continue // constants carry no alignment signal
+							}
+							from := ir.DimID{Array: mover.Array, Dim: k2}
+							to := ir.DimID{Array: stay.Array, Dim: k1}
+							k := key{from, to}
+							if acc[k] == nil {
+								acc[k] = &Edge{From: from, To: to}
+							}
+							acc[k].Weight += w
+							acc[k].Lines = append(acc[k].Lines, st.Line)
+						}
+					}
+				}
+			}
+		}
+	}
+	var keys []key
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].from != keys[b].from {
+			return keys[a].from.String() < keys[b].from.String()
+		}
+		return keys[a].to.String() < keys[b].to.String()
+	})
+	for _, k := range keys {
+		g.Edges = append(g.Edges, *acc[k])
+	}
+	return g, nil
+}
+
+func dedupRefs(refs []ir.Ref) []ir.Ref {
+	seen := map[string]bool{}
+	var out []ir.Ref
+	for _, r := range refs {
+		k := r.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// moveCost estimates the cost of shipping one reference's data to
+// misaligned consumers (documented on BuildGraph).
+func moveCost(nest *ir.Nest, st *ir.Stmt, rd ir.Ref, wp WeightParams) (float64, error) {
+	scope := nest.Loops[:st.Depth]
+	ext := map[string]int{}
+	for _, l := range scope {
+		e, err := LoopExtent(nest, l, wp.Bind)
+		if err != nil {
+			return 0, err
+		}
+		ext[l.Index] = e
+	}
+	refVars := map[string]bool{}
+	for _, s := range rd.Subs {
+		for _, v := range s.Vars() {
+			if _, ok := ext[v]; ok {
+				refVars[v] = true
+			}
+		}
+	}
+	vol := 1.0
+	for v := range refVars {
+		vol *= float64(ext[v])
+	}
+	reuse := 1.0
+	for _, l := range scope {
+		if !refVars[l.Index] {
+			reuse *= float64(ext[l.Index])
+		}
+	}
+	w := vol * wp.Tc
+	if reuse > 1 && wp.N > 1 {
+		w *= 1 + math.Log2(float64(wp.N))
+	}
+	return w, nil
+}
+
+// LoopExtent estimates the trip count of a loop, binding any enclosing
+// loop indices appearing in its bounds to the midpoint of a size
+// parameter range (triangular nests like Gauss's i = k+1..m average to
+// about m/2 trips).
+func LoopExtent(nest *ir.Nest, l ir.Loop, bind map[string]int) (int, error) {
+	full := map[string]int{}
+	for k, v := range bind {
+		full[k] = v
+	}
+	// Bind outer indices to midpoints so bounds like k+1 evaluate.
+	m := 0
+	for _, v := range bind {
+		if v > m {
+			m = v
+		}
+	}
+	for _, outer := range nest.Loops {
+		if outer.Index == l.Index {
+			break
+		}
+		full[outer.Index] = m/2 + 1
+	}
+	for _, e := range []ir.Affine{l.Lo, l.Hi} {
+		for _, v := range e.Vars() {
+			if _, ok := full[v]; !ok {
+				return 0, fmt.Errorf("align: loop %s bound %s uses unbound variable %q", l.Index, e, v)
+			}
+		}
+	}
+	lo := l.Lo.Eval(full)
+	hi := l.Hi.Eval(full)
+	trips := hi - lo + 1
+	if l.Step == -1 {
+		trips = lo - hi + 1
+	}
+	if trips < 1 {
+		trips = 1
+	}
+	return trips, nil
+}
+
+// String renders the graph for reports (Figs 2, 4, 7).
+func (g *Graph) String() string {
+	s := "nodes:"
+	for _, n := range g.Nodes {
+		s += " " + n.String()
+	}
+	s += "\n"
+	for _, e := range g.Edges {
+		s += fmt.Sprintf("  %s -> %s  weight %.0f  (lines %v)\n", e.From, e.To, e.Weight, e.Lines)
+	}
+	return s
+}

@@ -1,0 +1,288 @@
+// The compile driver: wires component alignment, exact cost counting, the
+// dynamic programming algorithm, and the dependence-driven pipelining
+// decision into the pipeline of the paper.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dmcc/internal/align"
+	"dmcc/internal/cost"
+	"dmcc/internal/dep"
+	"dmcc/internal/ir"
+)
+
+// Compiler compiles one program for a machine with NProcs processors.
+type Compiler struct {
+	Program *ir.Program
+	Model   cost.Model
+	// Bind gives values to the program's size parameters, e.g. {"m": 64}.
+	Bind map[string]int
+	// NProcs is the total processor count.
+	NProcs int
+	// Weights parameterizes affinity-graph edge weights.
+	Weights align.WeightParams
+	// UseGreedyAlign switches the alignment heuristic (ablation).
+	UseGreedyAlign bool
+}
+
+// NewCompiler returns a compiler with the standard configuration.
+func NewCompiler(p *ir.Program, model cost.Model, bind map[string]int, nprocs int) *Compiler {
+	wp := align.WeightParams{Bind: bind, N: nprocs, Tc: model.Tc}
+	return &Compiler{Program: p, Model: model, Bind: bind, NProcs: nprocs, Weights: wp}
+}
+
+// writtenAtOrAfter reports the arrays written by nests with (0-based)
+// index >= t — the loop-carried candidates for reads in nest t of an
+// iterative program.
+func (c *Compiler) writtenAtOrAfter(t int) map[string]bool {
+	out := map[string]bool{}
+	for _, nest := range c.Program.Nests[t:] {
+		for _, st := range nest.Stmts {
+			out[st.LHS.Array] = true
+		}
+	}
+	return out
+}
+
+// isLoopCarriedRead reports whether a read of array a in nest t (0-based)
+// takes its value from a later write of the same iteration-body pass,
+// i.e. crosses the iterative loop's back edge.
+func (c *Compiler) isLoopCarriedRead(t int, a string) bool {
+	if !c.Program.Iterative {
+		return false
+	}
+	return c.writtenAtOrAfter(t)[a]
+}
+
+// align partitions the affinity graph of the given nests.
+func (c *Compiler) alignNests(nests []*ir.Nest) (align.Partition, error) {
+	g, err := align.BuildGraph(c.Program, nests, c.Weights)
+	if err != nil {
+		return align.Partition{}, err
+	}
+	if c.UseGreedyAlign {
+		return align.GreedyAlign(g, 2)
+	}
+	return align.ExactAlign(g, 2)
+}
+
+// SegmentCost implements SegmentCoster: M[i][j] is the cheapest execution
+// cost of nests L_i..L_{i+j-1} under a single scheme set derived from the
+// subsequence's own component alignment, minimized over the candidate
+// grid shapes of Section 3. Loop-carried reads are excluded here and
+// priced by LoopCarriedCost.
+func (c *Compiler) SegmentCost(i, j int) (float64, *SchemeSet, error) {
+	if i < 1 || j < 1 || i+j-1 > len(c.Program.Nests) {
+		return 0, nil, fmt.Errorf("core: segment (%d,%d) out of range", i, j)
+	}
+	nests := c.Program.Nests[i-1 : i-1+j]
+	pt, err := c.alignNests(nests)
+	if err != nil {
+		return 0, nil, err
+	}
+	cyclic := false
+	for _, n := range nests {
+		if Triangular(n) {
+			cyclic = true
+		}
+	}
+	var best *SchemeSet
+	bestCost := 0.0
+	for _, shape := range GridShapes(c.NProcs) {
+		ss, err := DeriveSchemes(c.Program, pt, shape, c.Bind, cyclic)
+		if err != nil {
+			return 0, nil, err
+		}
+		total := 0.0
+		for t, nest := range nests {
+			globalT := i - 1 + t
+			ct, err := cost.CountNestOpts(c.Program, nest, ss.Schemes, ss.Grid, c.Bind, cost.CountOptions{
+				IncludeRead: func(a string) bool { return !c.isLoopCarriedRead(globalT, a) },
+			})
+			if err != nil {
+				return 0, nil, err
+			}
+			total += ct.Time(c.Model).Total()
+		}
+		if best == nil || total < bestCost {
+			best, bestCost = ss, total
+		}
+	}
+	return bestCost, best, nil
+}
+
+// ChangeCost prices redistributing every array from one scheme set to the
+// next: for each element a destination owner lacks, one word moves from a
+// current owner; the time estimate is the most-loaded processor's traffic,
+// like Counts.Time.
+func (c *Compiler) ChangeCost(from, to *SchemeSet) (float64, error) {
+	if from == nil || to == nil {
+		return 0, fmt.Errorf("core: ChangeCost on nil scheme set")
+	}
+	in := map[int]int64{}
+	out := map[int]int64{}
+	names := make([]string, 0, len(c.Program.Arrays))
+	for n := range c.Program.Arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sFrom, ok1 := from.Schemes[name]
+		sTo, ok2 := to.Schemes[name]
+		if !ok1 || !ok2 {
+			return 0, fmt.Errorf("core: array %s missing from a scheme set", name)
+		}
+		shape, err := shapeOf(c.Program, name, c.Bind)
+		if err != nil {
+			return 0, err
+		}
+		forEachIndex(shape, func(idx []int) {
+			fromOwners := sFrom.Owners(from.Grid, idx...)
+			has := map[int]bool{}
+			for _, r := range fromOwners {
+				has[r] = true
+			}
+			for _, d := range sTo.Owners(to.Grid, idx...) {
+				if !has[d] {
+					in[d]++
+					out[fromOwners[0]]++
+				}
+			}
+		})
+	}
+	var mx int64
+	for _, w := range in {
+		if w > mx {
+			mx = w
+		}
+	}
+	for _, w := range out {
+		if w > mx {
+			mx = w
+		}
+	}
+	return float64(mx) * c.Model.Tc, nil
+}
+
+// LoopCarriedCost prices the loop-carried reads (the CTime2 term of
+// Fig 3) under the final segment's schemes: the words needed to bring
+// each updated array from its owners to the processors that read it at
+// the top of the next iteration.
+func (c *Compiler) LoopCarriedCost(final *SchemeSet) (float64, error) {
+	if !c.Program.Iterative {
+		return 0, nil
+	}
+	total := 0.0
+	for t, nest := range c.Program.Nests {
+		ct, err := cost.CountNestOpts(c.Program, nest, final.Schemes, final.Grid, c.Bind, cost.CountOptions{
+			IncludeRead:   func(a string) bool { return c.isLoopCarriedRead(t, a) },
+			SkipReduction: true,
+			SkipFlops:     true,
+		})
+		if err != nil {
+			return 0, err
+		}
+		total += ct.Time(c.Model).Comm
+	}
+	return total, nil
+}
+
+// forEachIndex enumerates 1-based multi-indices in row-major order
+// (duplicated from dist to avoid exporting an iteration helper).
+func forEachIndex(shape []int, f func(idx []int)) {
+	idx := make([]int, len(shape))
+	for i := range idx {
+		idx[i] = 1
+	}
+	for {
+		f(idx)
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] <= shape[k] {
+				break
+			}
+			idx[k] = 1
+			k--
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
+// CompileResult is the full outcome of the pipeline for one program.
+type CompileResult struct {
+	DP *DPResult
+	// WholeProgram is the single-scheme baseline M[1][s] (+ loop-carried),
+	// i.e. the Section 3 method, for comparison with the DP plan.
+	WholeProgramCost float64
+	// Pipelining holds the per-nest dependence analysis and decision
+	// under the final scheme's distribution (Sections 5-6).
+	Pipelining []dep.PipelineDecision
+}
+
+// Compile runs the full pipeline: per-segment alignment + Algorithm 1 +
+// pipelining analysis.
+func (c *Compiler) Compile() (*CompileResult, error) {
+	if err := c.Program.Validate(); err != nil {
+		return nil, err
+	}
+	s := len(c.Program.Nests)
+	res, err := RunDP(s, c, c.Program.Iterative)
+	if err != nil {
+		return nil, err
+	}
+	whole, wholeSS, err := c.SegmentCost(1, s)
+	if err != nil {
+		return nil, err
+	}
+	if c.Program.Iterative {
+		lc, err := c.LoopCarriedCost(wholeSS)
+		if err != nil {
+			return nil, err
+		}
+		whole += lc
+	}
+	out := &CompileResult{DP: res, WholeProgramCost: whole}
+
+	// Pipelining analysis per nest under its chosen segment's schemes.
+	for _, seg := range res.Segments {
+		for t := seg.Start - 1; t < seg.Start-1+seg.Len; t++ {
+			nest := c.Program.Nests[t]
+			distDim := map[string]int{}
+			for name := range c.Program.Arrays {
+				distDim[name] = distributedDim(seg.Schemes, name)
+			}
+			mu, err := dep.DeriveMapping(c.Program, nest, distDim)
+			if err != nil {
+				// Nests with no distributed LHS (fully replicated) have
+				// nothing to pipeline.
+				continue
+			}
+			out.Pipelining = append(out.Pipelining, dep.DecidePipelining(c.Program, nest, mu))
+		}
+	}
+	return out, nil
+}
+
+// distributedDim returns the first array dimension mapped to a grid
+// dimension with more than one processor, or -1 if the array is
+// effectively replicated or serial.
+func distributedDim(ss *SchemeSet, array string) int {
+	s, ok := ss.Schemes[array]
+	if !ok {
+		return -1
+	}
+	for k, d := range s.Dims {
+		if d.Replicated {
+			continue
+		}
+		if ss.Grid.Extent(d.GridDim) > 1 {
+			return k
+		}
+	}
+	return -1
+}

@@ -1,0 +1,161 @@
+// Package core is the paper's primary contribution: the compile pipeline
+// that turns a sequential Do-loop program into distribution schemes and an
+// execution plan for a distributed memory machine. It combines
+//
+//   - per-loop component alignment (Section 3, package align),
+//   - the dynamic programming algorithm over loop sequences that picks
+//     the minimum-cost order of distribution schemes (Section 4,
+//     Algorithm 1),
+//   - communication pipelining decisions driven by data-dependence
+//     information (Sections 5-6, package dep).
+package core
+
+import (
+	"fmt"
+
+	"dmcc/internal/align"
+	"dmcc/internal/dist"
+	"dmcc/internal/grid"
+	"dmcc/internal/ir"
+)
+
+// SchemeSet is a complete data-distribution decision for one segment of
+// the program: a processor-grid shape plus one distribution scheme per
+// array.
+type SchemeSet struct {
+	Grid      *grid.Grid
+	Schemes   map[string]dist.Scheme
+	Partition align.Partition
+	// Cyclic records whether the segment used cyclic distributions
+	// (triangular iteration spaces, Section 6).
+	Cyclic bool
+	Label  string
+}
+
+// String summarizes the scheme set.
+func (ss *SchemeSet) String() string {
+	if ss == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%s on %s", ss.Label, ss.Grid)
+}
+
+// Triangular reports whether any loop bound of the nest depends on an
+// enclosing loop index — the paper's criterion for switching from
+// contiguous to cyclic distribution ("Because the index space includes an
+// oblique pyramid and a triangle, cyclical data distribution schema will
+// be used", Section 6).
+func Triangular(nest *ir.Nest) bool {
+	for li, l := range nest.Loops {
+		for _, b := range []ir.Affine{l.Lo, l.Hi} {
+			for _, v := range b.Vars() {
+				for _, outer := range nest.Loops[:li] {
+					if outer.Index == v {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// GridShapes returns the candidate 2-D grid shapes for n processors the
+// way Section 3 evaluates them: (n,1), (1,n), and (sqrt(n), sqrt(n)) when
+// n is a perfect square.
+func GridShapes(n int) [][2]int {
+	shapes := [][2]int{{n, 1}, {1, n}}
+	r := 1
+	for r*r < n {
+		r++
+	}
+	if r*r == n && r > 1 {
+		shapes = append(shapes, [2]int{r, r})
+	}
+	return shapes
+}
+
+// DeriveSchemes turns an alignment partition into concrete distribution
+// schemes on a 2-D grid of the given shape: each array dimension maps to
+// the grid dimension of its subset with a contiguous block distribution
+// (rectangular iteration spaces) or a cyclic distribution (triangular
+// ones); remaining grid dimensions of lower-rank arrays are replicated,
+// following the end of Section 2.1.
+func DeriveSchemes(p *ir.Program, pt align.Partition, shape [2]int, bind map[string]int, cyclic bool) (*SchemeSet, error) {
+	g := grid.New(shape[0], shape[1])
+	ss := &SchemeSet{
+		Grid:      g,
+		Schemes:   map[string]dist.Scheme{},
+		Partition: pt,
+		Cyclic:    cyclic,
+		Label:     fmt.Sprintf("%dx%d/%s", shape[0], shape[1], map[bool]string{true: "cyclic", false: "block"}[cyclic]),
+	}
+	for name, arr := range p.Arrays {
+		dims := make([]dist.Dim, arr.Rank())
+		used := map[int]bool{}
+		for k := range dims {
+			sub, ok := pt.Assign[ir.DimID{Array: name, Dim: k}]
+			if !ok {
+				return nil, fmt.Errorf("core: no alignment for %s dim %d", name, k+1)
+			}
+			size, err := extentOf(arr, k, bind)
+			if err != nil {
+				return nil, err
+			}
+			n := g.Extent(sub)
+			switch {
+			case n == 1:
+				// Degenerate grid dimension: one block holds everything.
+				dims[k] = dist.Dim{Sign: 1, Disp: -1, Block: size, GridDim: sub}
+			case cyclic:
+				dims[k] = dist.Cyclic(sub)
+			default:
+				dims[k] = dist.BlockContiguous(size, n, sub)
+			}
+			used[sub] = true
+		}
+		fixed := map[int]int{}
+		for gd := 0; gd < g.Q(); gd++ {
+			if !used[gd] {
+				fixed[gd] = dist.All // replicate along unused grid dims
+			}
+		}
+		s := dist.Scheme{Dims: dims, Fixed: fixed}
+		shapeInts, err := shapeOf(p, name, bind)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Validate(g, shapeInts); err != nil {
+			return nil, fmt.Errorf("core: derived scheme for %s invalid: %v", name, err)
+		}
+		ss.Schemes[name] = s
+	}
+	return ss, nil
+}
+
+func extentOf(arr *ir.Array, k int, bind map[string]int) (int, error) {
+	e := arr.Extents[k]
+	for _, v := range e.Vars() {
+		if _, ok := bind[v]; !ok {
+			return 0, fmt.Errorf("core: array %s extent %s unbound", arr.Name, e)
+		}
+	}
+	size := e.Eval(bind)
+	if size < 1 {
+		return 0, fmt.Errorf("core: array %s extent %d", arr.Name, size)
+	}
+	return size, nil
+}
+
+func shapeOf(p *ir.Program, name string, bind map[string]int) ([]int, error) {
+	arr := p.Array(name)
+	shape := make([]int, arr.Rank())
+	for k := range shape {
+		s, err := extentOf(arr, k, bind)
+		if err != nil {
+			return nil, err
+		}
+		shape[k] = s
+	}
+	return shape, nil
+}

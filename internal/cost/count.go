@@ -1,0 +1,357 @@
+// Exact communication counting under the owner-computes rule: enumerate a
+// nest's iteration space, execute every statement at the owners of its
+// left-hand side (or, for reductions, at the owners of the anchoring
+// operand, with a combining tree afterwards), and count every word that
+// must cross processors. The dynamic programming algorithm of Section 4
+// prices candidate distribution schemes with these counts; they are also
+// cross-checked against the words actually sent by the executable kernels
+// on the simulated machine.
+package cost
+
+import (
+	"fmt"
+
+	"dmcc/internal/dist"
+	"dmcc/internal/grid"
+	"dmcc/internal/ir"
+)
+
+// Counts aggregates the exact work and communication of one nest under
+// one set of distribution schemes.
+type Counts struct {
+	// TotalFlops and MaxProcFlops measure computation and its balance.
+	TotalFlops   int64
+	MaxProcFlops int64
+	// RemoteWords is the number of (element, destination) pairs where the
+	// destination executes an iteration needing an element it does not
+	// own — each is one word on the wire (after perfect message
+	// aggregation and multicast dedup).
+	RemoteWords int64
+	// ReduceWords counts the partial-sum words of reduction combining
+	// trees (one per non-root partial per reduced element).
+	ReduceWords int64
+	// MaxProcIn / MaxProcOut are the largest per-processor receive and
+	// send volumes; the communication-time estimate uses their max.
+	MaxProcIn  int64
+	MaxProcOut int64
+}
+
+// Words returns all words moved.
+func (ct Counts) Words() int64 { return ct.RemoteWords + ct.ReduceWords }
+
+// Time converts counts to a Breakdown: computation is the most-loaded
+// processor's flops, communication the most-loaded processor's traffic.
+func (ct Counts) Time(c Model) Breakdown {
+	comm := ct.MaxProcIn
+	if ct.MaxProcOut > comm {
+		comm = ct.MaxProcOut
+	}
+	return Breakdown{
+		Comp: float64(ct.MaxProcFlops) * c.Tf,
+		Comm: float64(comm) * c.Tc,
+	}
+}
+
+type elemKey struct {
+	arr  string
+	i, j int
+}
+
+type needKey struct {
+	elem elemKey
+	proc int
+}
+
+// CountNest exactly counts the computation and communication of one nest
+// under the given per-array schemes on grid g, with size parameters bound
+// by bind. Every array referenced by the nest must have a scheme valid
+// for its shape.
+func CountNest(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int) (Counts, error) {
+	return CountNestOpts(p, nest, schemes, g, bind, CountOptions{})
+}
+
+// CountNestFiltered is CountNest restricted to the read references for
+// which includeRead returns true (nil means all reads). The dynamic
+// programming driver uses it to split a nest's communication into the
+// within-segment part (M of Algorithm 1) and the loop-carried part (the
+// CTime2 term of Fig 3): reads of arrays written later in the iteration
+// body are priced separately.
+func CountNestFiltered(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int, includeRead func(array string) bool) (Counts, error) {
+	return CountNestOpts(p, nest, schemes, g, bind, CountOptions{IncludeRead: includeRead})
+}
+
+// CountOptions tailor a counting pass.
+type CountOptions struct {
+	// IncludeRead filters read references by array (nil = all).
+	IncludeRead func(array string) bool
+	// SkipReduction omits reduction combining-tree traffic — used by the
+	// loop-carried pass, whose reduction words were already priced in the
+	// segment pass.
+	SkipReduction bool
+	// SkipFlops omits computation accounting (communication-only passes).
+	SkipFlops bool
+}
+
+// CountNestOpts is the general counting entry point.
+func CountNestOpts(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int, opts CountOptions) (Counts, error) {
+	includeRead := opts.IncludeRead
+	if err := p.Validate(); err != nil {
+		return Counts{}, err
+	}
+	for _, st := range nest.Stmts {
+		for _, r := range append([]ir.Ref{st.LHS}, st.Reads...) {
+			s, ok := schemes[r.Array]
+			if !ok {
+				return Counts{}, fmt.Errorf("cost: no scheme for array %s", r.Array)
+			}
+			shape, err := arrayShape(p, r.Array, bind)
+			if err != nil {
+				return Counts{}, err
+			}
+			if err := s.Validate(g, shape); err != nil {
+				return Counts{}, fmt.Errorf("cost: scheme for %s: %v", r.Array, err)
+			}
+		}
+	}
+
+	flops := map[int]int64{}
+	needed := map[needKey]bool{}
+	// partials[lhs element] = set of processors holding a partial sum.
+	partials := map[elemKey]map[int]bool{}
+	partialRoot := map[elemKey]int{}
+
+	var walk func(level int, env map[string]int) error
+	walk = func(level int, env map[string]int) error {
+		if level > len(nest.Loops) {
+			return nil
+		}
+		for _, st := range nest.Stmts {
+			if st.Depth != level {
+				continue
+			}
+			if err := execStmt(p, st, schemes, g, bind, env, flops, needed, partials, partialRoot, includeRead, opts.SkipFlops); err != nil {
+				return err
+			}
+		}
+		if level == len(nest.Loops) {
+			return nil
+		}
+		l := nest.Loops[level]
+		lo := l.Lo.Eval(env)
+		hi := l.Hi.Eval(env)
+		if l.Step >= 0 {
+			for v := lo; v <= hi; v++ {
+				env[l.Index] = v
+				if err := walk(level+1, env); err != nil {
+					return err
+				}
+			}
+		} else {
+			for v := lo; v >= hi; v-- {
+				env[l.Index] = v
+				if err := walk(level+1, env); err != nil {
+					return err
+				}
+			}
+		}
+		delete(env, l.Index)
+		return nil
+	}
+	env := map[string]int{}
+	for k, v := range bind {
+		env[k] = v
+	}
+	if err := walk(0, env); err != nil {
+		return Counts{}, err
+	}
+
+	var ct Counts
+	in := map[int]int64{}
+	out := map[int]int64{}
+	for p2, f := range flops {
+		ct.TotalFlops += f
+		if f > ct.MaxProcFlops {
+			ct.MaxProcFlops = f
+		}
+		_ = p2
+	}
+	for nk := range needed {
+		ct.RemoteWords++
+		in[nk.proc]++
+		// Each word leaves one canonical source: the element's first owner.
+		out[ownersOf(p, schemes[nk.elem.arr], g, nk.elem)[0]]++
+	}
+	// Reduction combining trees.
+	if opts.SkipReduction {
+		partials = nil
+	}
+	for e, procs := range partials {
+		root := partialRoot[e]
+		n := len(procs)
+		if n <= 1 {
+			if n == 1 && !procs[root] {
+				// Single partial on a non-owner: one transfer.
+				ct.ReduceWords++
+				for pr := range procs {
+					out[pr]++
+				}
+				in[root]++
+			}
+			continue
+		}
+		for pr := range procs {
+			if pr != root {
+				ct.ReduceWords++
+				out[pr]++
+			}
+		}
+		in[root] += int64(Log2Ceil(n))
+	}
+	for _, w := range in {
+		if w > ct.MaxProcIn {
+			ct.MaxProcIn = w
+		}
+	}
+	for _, w := range out {
+		if w > ct.MaxProcOut {
+			ct.MaxProcOut = w
+		}
+	}
+	return ct, nil
+}
+
+// execStmt records the computation and data needs of one dynamic
+// statement instance.
+func execStmt(p *ir.Program, st *ir.Stmt, schemes map[string]dist.Scheme, g *grid.Grid,
+	bind, env map[string]int, flops map[int]int64, needed map[needKey]bool,
+	partials map[elemKey]map[int]bool, partialRoot map[elemKey]int,
+	includeRead func(array string) bool, skipFlops bool) error {
+
+	lhsElem, err := evalRef(p, st.LHS, env)
+	if err != nil {
+		return err
+	}
+	lhsOwners := ownersOf(p, schemes[st.LHS.Array], g, lhsElem)
+
+	var executors []int
+	if st.Reduce {
+		// Partial sums are computed where the anchoring operand (the
+		// read touching the most loop indices — A(i,j) in line 5) lives;
+		// the partials are then combined at the LHS owner.
+		anchor := anchorRead(st)
+		if anchor == nil {
+			executors = lhsOwners
+		} else {
+			ae, err := evalRef(p, *anchor, env)
+			if err != nil {
+				return err
+			}
+			executors = ownersOf(p, schemes[anchor.Array], g, ae)
+			if partials[lhsElem] == nil {
+				partials[lhsElem] = map[int]bool{}
+				partialRoot[lhsElem] = lhsOwners[0]
+			}
+			for _, ex := range executors {
+				partials[lhsElem][ex] = true
+			}
+		}
+	} else {
+		executors = lhsOwners
+	}
+
+	if !skipFlops {
+		for _, ex := range executors {
+			flops[ex] += int64(st.Flops)
+		}
+	}
+
+	for _, rd := range st.Reads {
+		if st.Reduce && rd.Array == st.LHS.Array {
+			continue // the accumulator itself is handled by the combining tree
+		}
+		if includeRead != nil && !includeRead(rd.Array) {
+			continue
+		}
+		re, err := evalRef(p, rd, env)
+		if err != nil {
+			return err
+		}
+		s := schemes[rd.Array]
+		for _, ex := range executors {
+			if !isOwnerOf(p, s, g, ex, re) {
+				needed[needKey{elem: re, proc: ex}] = true
+			}
+		}
+	}
+	return nil
+}
+
+// anchorRead picks the reduction anchor: the non-accumulator read with
+// the most distinct subscript variables.
+func anchorRead(st *ir.Stmt) *ir.Ref {
+	var best *ir.Ref
+	bestVars := -1
+	for i := range st.Reads {
+		rd := &st.Reads[i]
+		if rd.Array == st.LHS.Array {
+			continue
+		}
+		vars := map[string]bool{}
+		for _, s := range rd.Subs {
+			for _, v := range s.Vars() {
+				vars[v] = true
+			}
+		}
+		if len(vars) > bestVars {
+			bestVars = len(vars)
+			best = rd
+		}
+	}
+	return best
+}
+
+func evalRef(p *ir.Program, r ir.Ref, env map[string]int) (elemKey, error) {
+	e := elemKey{arr: r.Array}
+	switch len(r.Subs) {
+	case 1:
+		e.i = r.Subs[0].Eval(env)
+	case 2:
+		e.i = r.Subs[0].Eval(env)
+		e.j = r.Subs[1].Eval(env)
+	default:
+		return e, fmt.Errorf("cost: reference %s has unsupported rank %d", r, len(r.Subs))
+	}
+	return e, nil
+}
+
+func ownersOf(p *ir.Program, s dist.Scheme, g *grid.Grid, e elemKey) []int {
+	if p.Array(e.arr).Rank() == 1 {
+		return s.Owners(g, e.i)
+	}
+	return s.Owners(g, e.i, e.j)
+}
+
+func isOwnerOf(p *ir.Program, s dist.Scheme, g *grid.Grid, rank int, e elemKey) bool {
+	if p.Array(e.arr).Rank() == 1 {
+		return s.IsOwner(g, rank, e.i)
+	}
+	return s.IsOwner(g, rank, e.i, e.j)
+}
+
+// arrayShape evaluates an array's symbolic extents under bind.
+func arrayShape(p *ir.Program, name string, bind map[string]int) ([]int, error) {
+	arr := p.Array(name)
+	shape := make([]int, arr.Rank())
+	for k, e := range arr.Extents {
+		for _, v := range e.Vars() {
+			if _, ok := bind[v]; !ok {
+				return nil, fmt.Errorf("cost: array %s extent %s unbound", name, e)
+			}
+		}
+		shape[k] = e.Eval(bind)
+		if shape[k] < 1 {
+			return nil, fmt.Errorf("cost: array %s has extent %d", name, shape[k])
+		}
+	}
+	return shape, nil
+}

@@ -1,0 +1,204 @@
+package cost
+
+import (
+	"testing"
+
+	"dmcc/internal/dist"
+	"dmcc/internal/grid"
+	"dmcc/internal/ir"
+)
+
+// jacobiRowSchemes is the Section 4 / Table 3 distribution on an N-proc
+// linear array: A by row blocks, V/B/X by matching blocks.
+func jacobiRowSchemes(m, n int) map[string]dist.Scheme {
+	return map[string]dist.Scheme{
+		"A": dist.Scheme2D(dist.BlockContiguous(m, n, 0), dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil),
+		"V": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+		"B": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+		"X": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+	}
+}
+
+// jacobiColSchemes is the Section 3 scheme with N1=1, N2=N: A by column
+// blocks, X/B aligned with columns, V replicated.
+func jacobiColSchemes(m, n int) map[string]dist.Scheme {
+	return map[string]dist.Scheme{
+		"A": dist.Scheme2D(dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 0}, dist.BlockContiguous(m, n, 1), nil),
+		"V": dist.Scheme1D(dist.Replicated(1), map[int]int{0: 0}),
+		"B": dist.Scheme1D(dist.BlockContiguous(m, n, 1), map[int]int{0: 0}),
+		"X": dist.Scheme1D(dist.BlockContiguous(m, n, 1), map[int]int{0: 0}),
+	}
+}
+
+func TestCountJacobiL1RowDistribution(t *testing.T) {
+	m, n := 16, 4
+	p := ir.Jacobi()
+	g := grid.New(n, 1)
+	bind := map[string]int{"m": m}
+	ct, err := CountNest(p, p.Nests[0], jacobiRowSchemes(m, n), g, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row distribution: A(i,j) local to owner of V(i); X(j) must reach
+	// all other processors: m elements x (n-1) destinations.
+	if ct.ReduceWords != 0 {
+		t.Errorf("row-distributed L1 must have no reduction traffic, got %d", ct.ReduceWords)
+	}
+	wantRemote := int64(m * (n - 1))
+	if ct.RemoteWords != wantRemote {
+		t.Errorf("RemoteWords = %d, want %d", ct.RemoteWords, wantRemote)
+	}
+	// 2 flops per inner iteration, m^2/n per processor (perfect balance).
+	if ct.TotalFlops != int64(2*m*m) {
+		t.Errorf("TotalFlops = %d, want %d", ct.TotalFlops, 2*m*m)
+	}
+	if ct.MaxProcFlops != int64(2*m*m/n) {
+		t.Errorf("MaxProcFlops = %d, want %d", ct.MaxProcFlops, 2*m*m/n)
+	}
+}
+
+func TestCountJacobiL2RowDistributionIsLocal(t *testing.T) {
+	m, n := 16, 4
+	p := ir.Jacobi()
+	g := grid.New(n, 1)
+	ct, err := CountNest(p, p.Nests[1], jacobiRowSchemes(m, n), g, map[string]int{"m": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under row distribution X(i), B(i), V(i), A(i,i) are all local.
+	if ct.Words() != 0 {
+		t.Errorf("L2 must be communication-free under row distribution, moved %d", ct.Words())
+	}
+	if ct.MaxProcFlops != int64(3*m/n) {
+		t.Errorf("MaxProcFlops = %d, want %d", ct.MaxProcFlops, 3*m/n)
+	}
+}
+
+func TestCountJacobiL1ColumnDistributionHasReduction(t *testing.T) {
+	m, n := 16, 4
+	p := ir.Jacobi()
+	g := grid.New(1, n)
+	ct, err := CountNest(p, p.Nests[0], jacobiColSchemes(m, n), g, map[string]int{"m": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column distribution: partial sums for every V(i) live on all n
+	// processors; V is replicated so the reduction result must reach the
+	// root of each element's combining tree: (n-1) partial words per
+	// element at least.
+	if ct.ReduceWords < int64(m*(n-1)) {
+		t.Errorf("ReduceWords = %d, want >= %d", ct.ReduceWords, m*(n-1))
+	}
+	// X(j) and A(i,j) are aligned: no remote reads for line 5. Line 8
+	// reads V(i) which is replicated: owners include everyone, so local.
+	if ct.RemoteWords != 0 {
+		t.Errorf("RemoteWords = %d, want 0", ct.RemoteWords)
+	}
+}
+
+func TestCountRelativeOrderMatchesClosedForm(t *testing.T) {
+	// The counted cost of the row scheme must beat the column scheme for
+	// a full Jacobi iteration (L1+L2), matching Section 4's conclusion.
+	m, n := 32, 4
+	p := ir.Jacobi()
+	bind := map[string]int{"m": m}
+	c := Unit()
+
+	gRow := grid.New(n, 1)
+	rowTotal := 0.0
+	for _, nest := range p.Nests {
+		ct, err := CountNest(p, nest, jacobiRowSchemes(m, n), gRow, bind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowTotal += ct.Time(c).Total()
+	}
+	gCol := grid.New(1, n)
+	colTotal := 0.0
+	for _, nest := range p.Nests {
+		ct, err := CountNest(p, nest, jacobiColSchemes(m, n), gCol, bind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colTotal += ct.Time(c).Total()
+	}
+	if rowTotal >= colTotal {
+		t.Errorf("row scheme %v must beat column scheme %v", rowTotal, colTotal)
+	}
+}
+
+func TestCountGaussCyclicVsBlockLoadBalance(t *testing.T) {
+	// Section 6 chooses a cyclic distribution because the triangular
+	// iteration space starves leading processors under block
+	// distribution: cyclic must have a lower max-processor flop count.
+	m, n := 24, 4
+	p := ir.Gauss()
+	bind := map[string]int{"m": m}
+	// 2-D arrays need both dims mapped to distinct grid dims, so the ring
+	// is modelled as an (n,1) grid.
+	g := grid.New(n, 1)
+	cyclic := map[string]dist.Scheme{
+		"A": dist.Scheme2D(dist.Cyclic(0), dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil),
+		"L": dist.Scheme2D(dist.Cyclic(0), dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil),
+		"V": dist.Scheme1D(dist.Cyclic(0), map[int]int{1: 0}),
+		"B": dist.Scheme1D(dist.Cyclic(0), map[int]int{1: 0}),
+		"X": dist.Scheme1D(dist.Cyclic(0), map[int]int{1: 0}),
+	}
+	block := map[string]dist.Scheme{
+		"A": dist.Scheme2D(dist.BlockContiguous(m, n, 0), dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil),
+		"L": dist.Scheme2D(dist.BlockContiguous(m, n, 0), dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil),
+		"V": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+		"B": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+		"X": dist.Scheme1D(dist.BlockContiguous(m, n, 0), map[int]int{1: 0}),
+	}
+	g1 := p.Nests[0]
+	ctCyc, err := CountNest(p, g1, cyclic, g, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctBlk, err := CountNest(p, g1, block, g, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctCyc.TotalFlops != ctBlk.TotalFlops {
+		t.Fatalf("total flops differ: %d vs %d", ctCyc.TotalFlops, ctBlk.TotalFlops)
+	}
+	if ctCyc.MaxProcFlops >= ctBlk.MaxProcFlops {
+		t.Errorf("cyclic max flops %d must beat block %d", ctCyc.MaxProcFlops, ctBlk.MaxProcFlops)
+	}
+}
+
+func TestCountErrors(t *testing.T) {
+	p := ir.Jacobi()
+	g := grid.New(4, 1)
+	bind := map[string]int{"m": 8}
+	// Missing scheme.
+	sch := jacobiRowSchemes(8, 4)
+	delete(sch, "X")
+	if _, err := CountNest(p, p.Nests[0], sch, g, bind); err == nil {
+		t.Fatal("missing scheme not caught")
+	}
+	// Invalid scheme (wrong grid).
+	if _, err := CountNest(p, p.Nests[0], jacobiColSchemes(8, 4), g, bind); err == nil {
+		t.Fatal("invalid scheme not caught")
+	}
+	// Unbound parameter.
+	if _, err := CountNest(p, p.Nests[0], jacobiRowSchemes(8, 4), g, map[string]int{}); err == nil {
+		t.Fatal("unbound parameter not caught")
+	}
+}
+
+func TestCountsTime(t *testing.T) {
+	ct := Counts{MaxProcFlops: 100, MaxProcIn: 30, MaxProcOut: 50}
+	b := ct.Time(Model{Tf: 2, Tc: 3})
+	if b.Comp != 200 || b.Comm != 150 {
+		t.Fatalf("Time = %+v", b)
+	}
+	if ct.Words() != 0 {
+		t.Fatal("Words nonzero")
+	}
+	ct2 := Counts{RemoteWords: 5, ReduceWords: 7}
+	if ct2.Words() != 12 {
+		t.Fatal("Words wrong")
+	}
+}

@@ -1,0 +1,241 @@
+// Package data moves global arrays between a root processor and their
+// distributed layout on the simulated machine: the runtime half of the
+// distribution functions of Section 2.1. A kernel author distributes
+// inputs with Scatter*, computes on local blocks, and collects results
+// with Gather* — paying exactly the Table 1 Scatter/Gather costs the
+// paper charges for loading and draining data.
+//
+// All functions are SPMD collectives over the whole machine: every
+// processor must call them with consistent arguments. Local storage
+// follows dist.Scheme.LocalIndex: owned elements pack densely in global
+// order.
+package data
+
+import (
+	"fmt"
+
+	"dmcc/internal/dist"
+	"dmcc/internal/machine"
+	"dmcc/internal/matrix"
+)
+
+// allDims lists every grid dimension, the peer set of whole-machine
+// collectives.
+func allDims(p *machine.Proc) []int {
+	dims := make([]int, p.Grid().Q())
+	for i := range dims {
+		dims[i] = i
+	}
+	return dims
+}
+
+// ScatterVector distributes a global vector (1-based scheme indexing over
+// global[0..n-1]) from root according to the scheme. Only root's global
+// argument is consulted. Every processor returns its dense local block —
+// including replicated copies when the scheme replicates.
+func ScatterVector(p *machine.Proc, s dist.Scheme, root int, global []float64) ([]float64, error) {
+	n := len(global)
+	// Root builds one chunk per processor.
+	dims := allDims(p)
+	peers := p.PeersOver(dims...)
+	var chunks [][]machine.Word
+	if p.Rank() == root {
+		nTot := bcastLen(p, root, n)
+		_ = nTot
+		chunks = make([][]machine.Word, len(peers))
+		for pi, r := range peers {
+			for i := 1; i <= n; i++ {
+				if s.IsOwner(p.Grid(), r, i) {
+					chunks[pi] = append(chunks[pi], global[i-1])
+				}
+			}
+		}
+	} else {
+		n = bcastLen(p, root, 0)
+	}
+	local := p.Scatter(dims, root, chunks)
+	// Verify the local count matches the scheme (protocol check).
+	want := 0
+	for i := 1; i <= n; i++ {
+		if s.IsOwner(p.Grid(), p.Rank(), i) {
+			want++
+		}
+	}
+	if len(local) != want {
+		return nil, fmt.Errorf("data: processor %d received %d elements, scheme owns %d", p.Rank(), len(local), want)
+	}
+	return local, nil
+}
+
+// GatherVector collects a distributed vector of global length n at root;
+// root returns the assembled global vector, others nil. Replicated
+// elements are taken from their lowest-ranked owner.
+func GatherVector(p *machine.Proc, s dist.Scheme, root, n int, local []float64) ([]float64, error) {
+	dims := allDims(p)
+	peers := p.PeersOver(dims...)
+	chunks := p.Gather(dims, root, local)
+	if p.Rank() != root {
+		return nil, nil
+	}
+	out := make([]float64, n)
+	next := make([]int, len(peers))
+	for i := 1; i <= n; i++ {
+		owners := s.Owners(p.Grid(), i)
+		// Consume the element from every owner's chunk to keep cursors
+		// aligned; keep the first owner's value.
+		first := true
+		for pi, r := range peers {
+			if !s.IsOwner(p.Grid(), r, i) {
+				continue
+			}
+			if next[pi] >= len(chunks[pi]) {
+				return nil, fmt.Errorf("data: processor %d chunk exhausted at element %d", r, i)
+			}
+			v := chunks[pi][next[pi]]
+			next[pi]++
+			if first {
+				out[i-1] = v
+				first = false
+			}
+		}
+		_ = owners
+	}
+	return out, nil
+}
+
+// ScatterMatrix distributes a global matrix from root per a 2-D scheme.
+// Every processor returns its local block as a dense row-major matrix of
+// its owned rows x owned columns. Only rectangular per-processor
+// footprints are supported (true for all Section 2.1 schemes without
+// rotation); rotated schemes return an error.
+func ScatterMatrix(p *machine.Proc, s dist.Scheme, root int, global *matrix.Dense) (*matrix.Dense, error) {
+	if s.Rot != dist.NoRotation {
+		return nil, fmt.Errorf("data: ScatterMatrix does not support rotated schemes; place blocks directly")
+	}
+	dims := allDims(p)
+	peers := p.PeersOver(dims...)
+	rows, cols := 0, 0
+	if p.Rank() == root {
+		rows, cols = global.Rows, global.Cols
+	}
+	rows = bcastLen(p, root, rows)
+	cols = bcastLen(p, root, cols)
+
+	var chunks [][]machine.Word
+	if p.Rank() == root {
+		chunks = make([][]machine.Word, len(peers))
+		for pi, r := range peers {
+			ri := ownedRows(p, s, r, rows)
+			ci := ownedCols(p, s, r, cols)
+			for _, i := range ri {
+				for _, j := range ci {
+					chunks[pi] = append(chunks[pi], global.At(i-1, j-1))
+				}
+			}
+		}
+	}
+	local := p.Scatter(dims, root, chunks)
+	ri := ownedRows(p, s, p.Rank(), rows)
+	ci := ownedCols(p, s, p.Rank(), cols)
+	if len(ri)*len(ci) != len(local) {
+		return nil, fmt.Errorf("data: processor %d received %d elements for a %dx%d block",
+			p.Rank(), len(local), len(ri), len(ci))
+	}
+	if len(ri) == 0 || len(ci) == 0 {
+		return matrix.NewDense(1, 1), nil
+	}
+	blk := matrix.NewDense(len(ri), len(ci))
+	copy(blk.Data, local)
+	return blk, nil
+}
+
+// GatherMatrix reassembles a distributed matrix of global size rows x
+// cols at root.
+func GatherMatrix(p *machine.Proc, s dist.Scheme, root, rows, cols int, local *matrix.Dense) (*matrix.Dense, error) {
+	if s.Rot != dist.NoRotation {
+		return nil, fmt.Errorf("data: GatherMatrix does not support rotated schemes")
+	}
+	dims := allDims(p)
+	peers := p.PeersOver(dims...)
+	var payload []machine.Word
+	if local != nil {
+		payload = local.Data
+	}
+	chunks := p.Gather(dims, root, payload)
+	if p.Rank() != root {
+		return nil, nil
+	}
+	out := matrix.NewDense(rows, cols)
+	filled := make([]bool, rows*cols)
+	for pi, r := range peers {
+		ri := ownedRows(p, s, r, rows)
+		ci := ownedCols(p, s, r, cols)
+		if len(ri)*len(ci) > len(chunks[pi]) {
+			return nil, fmt.Errorf("data: processor %d sent %d elements for a %dx%d block",
+				r, len(chunks[pi]), len(ri), len(ci))
+		}
+		k := 0
+		for _, i := range ri {
+			for _, j := range ci {
+				if !filled[(i-1)*cols+(j-1)] {
+					out.Set(i-1, j-1, chunks[pi][k])
+					filled[(i-1)*cols+(j-1)] = true
+				}
+				k++
+			}
+		}
+	}
+	for idx, ok := range filled {
+		if !ok {
+			return nil, fmt.Errorf("data: element %d of the gathered matrix has no owner", idx)
+		}
+	}
+	return out, nil
+}
+
+func ownedRows(p *machine.Proc, s dist.Scheme, rank, rows int) []int {
+	var out []int
+	for i := 1; i <= rows; i++ {
+		if dimOwned(p, s, 0, rank, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func ownedCols(p *machine.Proc, s dist.Scheme, rank, cols int) []int {
+	var out []int
+	for j := 1; j <= cols; j++ {
+		if dimOwned(p, s, 1, rank, j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// dimOwned checks ownership along one array dimension only.
+func dimOwned(p *machine.Proc, s dist.Scheme, k, rank, idx int) bool {
+	d := s.Dims[k]
+	if d.Replicated {
+		return true
+	}
+	// Build a probe index fixing the other dimension to 1.
+	var coords []int
+	if len(s.Dims) == 1 {
+		coords = s.GridCoords(p.Grid(), idx)
+	} else if k == 0 {
+		coords = s.GridCoords(p.Grid(), idx, 1)
+	} else {
+		coords = s.GridCoords(p.Grid(), 1, idx)
+	}
+	c := coords[d.GridDim]
+	return c == dist.All || p.Grid().Coord(rank, d.GridDim) == c
+}
+
+// bcastLen shares a small integer from root with every processor (metadata
+// exchange; one word).
+func bcastLen(p *machine.Proc, root, v int) int {
+	dims := allDims(p)
+	got := p.OneToManyMulticast(dims, root, []machine.Word{machine.Word(v)})
+	return int(got[0])
+}

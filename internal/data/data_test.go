@@ -1,0 +1,190 @@
+package data
+
+import (
+	"testing"
+
+	"dmcc/internal/dist"
+	"dmcc/internal/grid"
+	"dmcc/internal/machine"
+	"dmcc/internal/matrix"
+)
+
+func runMachine(t *testing.T, g *grid.Grid, body func(p *machine.Proc)) machine.Stats {
+	t.Helper()
+	st, err := machine.New(g, machine.DefaultConfig()).Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestScatterGatherVectorBlock(t *testing.T) {
+	n := 16
+	global := matrix.RandomVector(n, 3)
+	g := grid.New(4)
+	s := dist.Scheme1D(dist.BlockContiguous(n, 4, 0), nil)
+	var out []float64
+	runMachine(t, g, func(p *machine.Proc) {
+		local, err := ScatterVector(p, s, 0, pick(p, 0, global))
+		if err != nil {
+			panic(err)
+		}
+		if len(local) != n/4 {
+			panic("wrong local size")
+		}
+		// Round trip.
+		back, err := GatherVector(p, s, 2, n, local)
+		if err != nil {
+			panic(err)
+		}
+		if p.Rank() == 2 {
+			out = back
+		}
+	})
+	if matrix.MaxAbsDiff(out, global) != 0 {
+		t.Fatal("vector round trip failed")
+	}
+}
+
+func TestScatterVectorCyclic(t *testing.T) {
+	n := 10
+	global := matrix.RandomVector(n, 5)
+	g := grid.New(3)
+	s := dist.Scheme1D(dist.Cyclic(0), nil)
+	runMachine(t, g, func(p *machine.Proc) {
+		local, err := ScatterVector(p, s, 1, pick(p, 1, global))
+		if err != nil {
+			panic(err)
+		}
+		// Proc r owns indices i with (i-1) mod 3 == r.
+		want := 0
+		for i := 1; i <= n; i++ {
+			if (i-1)%3 == p.Rank() {
+				if local[want] != global[i-1] {
+					panic("wrong element")
+				}
+				want++
+			}
+		}
+		if len(local) != want {
+			panic("wrong count")
+		}
+	})
+}
+
+func TestScatterVectorReplicated(t *testing.T) {
+	n := 6
+	global := matrix.RandomVector(n, 7)
+	g := grid.New(3)
+	s := dist.Scheme1D(dist.Replicated(0), nil)
+	runMachine(t, g, func(p *machine.Proc) {
+		local, err := ScatterVector(p, s, 0, pick(p, 0, global))
+		if err != nil {
+			panic(err)
+		}
+		if matrix.MaxAbsDiff(local, global) != 0 {
+			panic("replica differs")
+		}
+		back, err := GatherVector(p, s, 0, n, local)
+		if err != nil {
+			panic(err)
+		}
+		if p.Rank() == 0 && matrix.MaxAbsDiff(back, global) != 0 {
+			panic("gather of replicated failed")
+		}
+	})
+}
+
+func TestScatterGatherMatrixBlock2D(t *testing.T) {
+	m := 12
+	global := matrix.RandomDense(m, m, 11)
+	g := grid.New(2, 3)
+	s := dist.Scheme2D(dist.BlockContiguous(m, 2, 0), dist.BlockContiguous(m, 3, 1), nil)
+	var out *matrix.Dense
+	runMachine(t, g, func(p *machine.Proc) {
+		var in *matrix.Dense
+		if p.Rank() == 0 {
+			in = global
+		}
+		blk, err := ScatterMatrix(p, s, 0, in)
+		if err != nil {
+			panic(err)
+		}
+		if blk.Rows != m/2 || blk.Cols != m/3 {
+			panic("block shape wrong")
+		}
+		// Check one element: my block starts at (p1*m/2, p2*m/3).
+		if blk.At(0, 0) != global.At(p.Coord(0)*m/2, p.Coord(1)*m/3) {
+			panic("block content wrong")
+		}
+		back, err := GatherMatrix(p, s, 0, m, m, blk)
+		if err != nil {
+			panic(err)
+		}
+		if p.Rank() == 0 {
+			out = back
+		}
+	})
+	if matrix.MaxAbsDiff(out.Data, global.Data) != 0 {
+		t.Fatal("matrix round trip failed")
+	}
+}
+
+func TestScatterMatrixRowsReplicatedCols(t *testing.T) {
+	m := 8
+	global := matrix.RandomDense(m, m, 13)
+	g := grid.New(4, 1)
+	s := dist.Scheme2D(dist.BlockContiguous(m, 4, 0),
+		dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil)
+	runMachine(t, g, func(p *machine.Proc) {
+		var in *matrix.Dense
+		if p.Rank() == 0 {
+			in = global
+		}
+		blk, err := ScatterMatrix(p, s, 0, in)
+		if err != nil {
+			panic(err)
+		}
+		if blk.Rows != m/4 || blk.Cols != m {
+			panic("row block shape wrong")
+		}
+	})
+}
+
+func TestScatterMatrixRejectsRotation(t *testing.T) {
+	g := grid.New(2, 2)
+	s := dist.Scheme2DRotated(dist.BlockContiguous(4, 2, 0), dist.BlockContiguous(4, 2, 1),
+		dist.RotateDim2ByDim1, -1, -1, nil)
+	runMachine(t, g, func(p *machine.Proc) {
+		if _, err := ScatterMatrix(p, s, 0, matrix.NewDense(4, 4)); err == nil {
+			panic("rotation accepted")
+		}
+		if _, err := GatherMatrix(p, s, 0, 4, 4, nil); err == nil {
+			panic("rotation accepted in gather")
+		}
+	})
+}
+
+func TestScatterCostsAreCharged(t *testing.T) {
+	// Distributing data is not free: the run must show communication.
+	n := 16
+	global := matrix.RandomVector(n, 17)
+	g := grid.New(4)
+	s := dist.Scheme1D(dist.BlockContiguous(n, 4, 0), nil)
+	st := runMachine(t, g, func(p *machine.Proc) {
+		if _, err := ScatterVector(p, s, 0, pick(p, 0, global)); err != nil {
+			panic(err)
+		}
+	})
+	if st.Words == 0 || st.ParallelTime == 0 {
+		t.Fatalf("scatter was free: %+v", st)
+	}
+}
+
+// pick returns the global data on root and nil elsewhere.
+func pick(p *machine.Proc, root int, global []float64) []float64 {
+	if p.Rank() == root {
+		return global
+	}
+	return nil
+}

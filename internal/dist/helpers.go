@@ -1,0 +1,62 @@
+// Constructors for the standard distribution dimensions used throughout
+// the paper's examples.
+package dist
+
+// BlockContiguous distributes size elements (1..size) in contiguous
+// blocks of ceil(size/N) over the N processors of gridDim:
+// f(i) = floor((i-1)/block), as in Equation (1) of Section 3.
+func BlockContiguous(size, n, gridDim int) Dim {
+	return Dim{Sign: 1, Disp: -1, Block: ceilDiv(size, n), Cyclic: false, GridDim: gridDim}
+}
+
+// BlockContiguousDecreasing is the decreasing-index variant:
+// f(i) = floor((-i+size)/block), so index 1 lands on the last processor
+// (Fig 1 (e)/(g) style layouts).
+func BlockContiguousDecreasing(size, n, gridDim int) Dim {
+	return Dim{Sign: -1, Disp: size, Block: ceilDiv(size, n), Cyclic: false, GridDim: gridDim}
+}
+
+// Cyclic distributes elements round-robin: f(i) = (i-1) mod N, the layout
+// used for Gauss elimination in Section 6.
+func Cyclic(gridDim int) Dim {
+	return Dim{Sign: 1, Disp: -1, Block: 1, Cyclic: true, GridDim: gridDim}
+}
+
+// BlockCyclic distributes blocks of the given size round-robin:
+// f(i) = floor((i-1)/block) mod N (Fig 1 (h)).
+func BlockCyclic(block, gridDim int) Dim {
+	return Dim{Sign: 1, Disp: -1, Block: block, Cyclic: true, GridDim: gridDim}
+}
+
+// Replicated marks the dimension replicated along gridDim.
+func Replicated(gridDim int) Dim {
+	return Dim{Replicated: true, GridDim: gridDim}
+}
+
+// Scheme1D wraps a single dimension into a Scheme with the given fixed
+// coordinates for unused grid dimensions (pass nil when the grid is 1-D).
+func Scheme1D(d Dim, fixed map[int]int) Scheme {
+	if fixed == nil {
+		fixed = map[int]int{}
+	}
+	return Scheme{Dims: []Dim{d}, Fixed: fixed}
+}
+
+// Scheme2D wraps two dimensions into an independent 2-D Scheme.
+func Scheme2D(d1, d2 Dim, fixed map[int]int) Scheme {
+	if fixed == nil {
+		fixed = map[int]int{}
+	}
+	return Scheme{Dims: []Dim{d1, d2}, Fixed: fixed}
+}
+
+// Scheme2DRotated wraps two dimensions into a dependent 2-D Scheme with
+// the given rotation and coefficients d1, d2 in {-1,+1}.
+func Scheme2DRotated(d1, d2 Dim, rot Rotation, c1, c2 int, fixed map[int]int) Scheme {
+	if fixed == nil {
+		fixed = map[int]int{}
+	}
+	return Scheme{Dims: []Dim{d1, d2}, Rot: rot, D1: c1, D2: c2, Fixed: fixed}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,133 @@
+// Layout rendering (Fig 1 of the paper): the owner map of a 2-D array
+// under a distribution scheme, with each cell labelled by the grid
+// coordinates of its owning processor.
+package dist
+
+import (
+	"fmt"
+	"strings"
+
+	"dmcc/internal/grid"
+)
+
+// OwnerLabel formats the owner coordinates of one element the way Fig 1
+// does: the concatenated grid coordinates, e.g. "02" for processor (0,2),
+// or "*2" when the element is replicated along grid dimension 0.
+func OwnerLabel(coords []int) string {
+	var b strings.Builder
+	for _, c := range coords {
+		if c == All {
+			b.WriteByte('*')
+		} else {
+			fmt.Fprintf(&b, "%d", c)
+		}
+	}
+	return b.String()
+}
+
+// LayoutMatrix returns the shape[0] x shape[1] matrix of owner labels of
+// a 2-D array under the scheme.
+func LayoutMatrix(g *grid.Grid, shape []int, s Scheme) [][]string {
+	if len(shape) != 2 {
+		panic("dist: LayoutMatrix requires a 2-D shape")
+	}
+	m := make([][]string, shape[0])
+	for i := 1; i <= shape[0]; i++ {
+		row := make([]string, shape[1])
+		for j := 1; j <= shape[1]; j++ {
+			row[j-1] = OwnerLabel(s.GridCoords(g, i, j))
+		}
+		m[i-1] = row
+	}
+	return m
+}
+
+// BlockLabels compresses a layout matrix into its distinct blocks: it
+// returns the owner labels of the array sampled at one representative per
+// contiguous run, row by row — the compact form Fig 1 prints. In practice
+// the tests compare full matrices; this is used for human-readable output.
+func BlockLabels(m [][]string) []string {
+	var out []string
+	for _, row := range m {
+		prev := ""
+		var parts []string
+		for _, c := range row {
+			if c != prev {
+				parts = append(parts, c)
+				prev = c
+			}
+		}
+		out = append(out, strings.Join(parts, " "))
+	}
+	return out
+}
+
+// Fig1Case identifies one of the eight layouts of Fig 1.
+type Fig1Case struct {
+	Name   string
+	Grid   *grid.Grid
+	Scheme Scheme
+}
+
+// Fig1Cases returns the eight distribution schemes of Fig 1 for a
+// size x size array (the paper uses 16 x 16):
+//
+//	(a) 4x4 grid, contiguous blocks in both dimensions
+//	(b) 4x4 grid, dim 2 rotated by dim 1 (Cannon layout of B)
+//	(c) 4x4 grid, dim 1 rotated by dim 2 (Cannon layout of C)
+//	(d) 4x4 grid, row blocks, replicated along grid dim 2
+//	(e) 1x4 grid, decreasing contiguous column blocks
+//	(f) 4x1 grid, block-cyclic rows (block 2)
+//	(g) 4x1 grid, decreasing contiguous rows
+//	(h) 2x2 grid, block-cyclic in both dimensions (block 4)
+func Fig1Cases(size int) []Fig1Case {
+	g44 := grid.New(4, 4)
+	g14 := grid.New(1, 4)
+	g41 := grid.New(4, 1)
+	g22 := grid.New(2, 2)
+	return []Fig1Case{
+		{
+			Name: "a", Grid: g44,
+			Scheme: Scheme2D(BlockContiguous(size, 4, 0), BlockContiguous(size, 4, 1), nil),
+		},
+		{
+			Name: "b", Grid: g44,
+			Scheme: Scheme2DRotated(BlockContiguous(size, 4, 0), BlockContiguous(size, 4, 1),
+				RotateDim2ByDim1, -1, -1, nil),
+		},
+		{
+			Name: "c", Grid: g44,
+			Scheme: Scheme2DRotated(BlockContiguous(size, 4, 0), BlockContiguous(size, 4, 1),
+				RotateDim1ByDim2, -1, -1, nil),
+		},
+		{
+			Name: "d", Grid: g44,
+			Scheme: Scheme2D(BlockContiguous(size, 4, 0), Replicated(1), nil),
+		},
+		{
+			// (e) f(i,j) = (0, floor((-i+size)/block)): decreasing row
+			// blocks across the 4 processors of grid dim 1.
+			Name: "e", Grid: g14,
+			Scheme: Scheme2D(BlockContiguousDecreasing(size, 4, 1),
+				Dim{Sign: 1, Disp: -1, Block: size, GridDim: 0}, nil),
+		},
+		{
+			// (f) f(i,j) = (floor((i-1)/2) mod 4, 0): increasing
+			// block-cyclic rows, block 2.
+			Name: "f", Grid: g41,
+			Scheme: Scheme2D(BlockCyclic(size/8, 0),
+				Dim{Sign: 1, Disp: -1, Block: size, GridDim: 1}, nil),
+		},
+		{
+			// (g) f(i,j) = (floor((-i+size)/2) mod 4, 0): the decreasing
+			// counterpart of (f).
+			Name: "g", Grid: g41,
+			Scheme: Scheme2D(Dim{Sign: -1, Disp: size, Block: size / 8, Cyclic: true, GridDim: 0},
+				Dim{Sign: 1, Disp: -1, Block: size, GridDim: 1}, nil),
+		},
+		{
+			Name: "h", Grid: g22,
+			Scheme: Scheme2D(BlockCyclic(size/4, 0), BlockCyclic(size/4, 1), nil),
+		},
+	}
+}

@@ -1,0 +1,168 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"dmcc/internal/grid"
+)
+
+// TestFig1Layouts verifies the owner maps of Fig 1 against the block
+// labels printed in the paper. The paper shows a 16x16 array; each 4x4 (or
+// coarser) block of equal owners is compared against the figure.
+func TestFig1Layouts(t *testing.T) {
+	cases := Fig1Cases(16)
+
+	// Expected owner label of the block containing element (i,j), sampled
+	// at block corners, transcribed from Fig 1.
+	wantBlocks := map[string][][]string{
+		// (a): plain 2-D blocks.
+		"a": {
+			{"00", "01", "02", "03"},
+			{"10", "11", "12", "13"},
+			{"20", "21", "22", "23"},
+			{"30", "31", "32", "33"},
+		},
+		// (b): row r holds blocks (r, (c-r) mod 4): row 0: 00 03 02 01...
+		// Paper prints: 00 03 02 01 / 13 12 11 10 / 22 21 20 23 / 31 30 33 32.
+		"b": {
+			{"00", "03", "02", "01"},
+			{"13", "12", "11", "10"},
+			{"22", "21", "20", "23"},
+			{"31", "30", "33", "32"},
+		},
+		// (c): paper prints 00 31 22 13 / 30 21 12 03 / 20 11 02 33 / 10 01 32 23.
+		"c": {
+			{"00", "31", "22", "13"},
+			{"30", "21", "12", "03"},
+			{"20", "11", "02", "33"},
+			{"10", "01", "32", "23"},
+		},
+	}
+
+	for _, c := range cases {
+		m := LayoutMatrix(c.Grid, []int{16, 16}, c.Scheme)
+		if err := c.Scheme.Validate(c.Grid, []int{16, 16}); err != nil {
+			t.Fatalf("case (%s): %v", c.Name, err)
+		}
+		// Within any 4x4-aligned block the owner must be uniform for the
+		// block-based cases.
+		if want, ok := wantBlocks[c.Name]; ok {
+			for bi := 0; bi < 4; bi++ {
+				for bj := 0; bj < 4; bj++ {
+					lbl := m[bi*4][bj*4]
+					if lbl != want[bi][bj] {
+						t.Errorf("case (%s): block (%d,%d) owner %s, want %s",
+							c.Name, bi, bj, lbl, want[bi][bj])
+					}
+					for i := 0; i < 4; i++ {
+						for j := 0; j < 4; j++ {
+							if m[bi*4+i][bj*4+j] != lbl {
+								t.Errorf("case (%s): block (%d,%d) not uniform", c.Name, bi, bj)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFig1CaseD_RowBlocksReplicated(t *testing.T) {
+	c := Fig1Cases(16)[3]
+	m := LayoutMatrix(c.Grid, []int{16, 16}, c.Scheme)
+	// Row block r is replicated along grid dim 1: label "r*".
+	for i := 0; i < 16; i++ {
+		want := string(rune('0'+i/4)) + "*"
+		for j := 0; j < 16; j++ {
+			if m[i][j] != want {
+				t.Fatalf("(d) m[%d][%d] = %s, want %s", i, j, m[i][j], want)
+			}
+		}
+	}
+}
+
+func TestFig1CaseE_DecreasingRowBlocks(t *testing.T) {
+	c := Fig1Cases(16)[4]
+	m := LayoutMatrix(c.Grid, []int{16, 16}, c.Scheme)
+	// First row block -> processor (0,3), last -> (0,0).
+	if m[0][0] != "03" || m[15][15] != "00" || m[4][0] != "02" {
+		t.Fatalf("(e) corners: %s %s %s", m[0][0], m[15][15], m[4][0])
+	}
+}
+
+func TestFig1CaseF_BlockCyclicRows(t *testing.T) {
+	c := Fig1Cases(16)[5]
+	m := LayoutMatrix(c.Grid, []int{16, 16}, c.Scheme)
+	// f(i) = floor((i-1)/2) mod 4: rows 1,2 -> 0; 3,4 -> 1; ...; 9,10 -> 0 again.
+	wants := []string{"00", "00", "10", "10", "20", "20", "30", "30", "00", "00", "10", "10", "20", "20", "30", "30"}
+	for i := 0; i < 16; i++ {
+		if m[i][0] != wants[i] {
+			t.Fatalf("(f) row %d owner %s, want %s", i+1, m[i][0], wants[i])
+		}
+	}
+}
+
+func TestFig1CaseG_DecreasingBlockCyclicRows(t *testing.T) {
+	c := Fig1Cases(16)[6]
+	m := LayoutMatrix(c.Grid, []int{16, 16}, c.Scheme)
+	// f(i) = floor((-i+16)/2) mod 4: i=1 -> floor(15/2)=7 mod 4 = 3.
+	if m[0][0] != "30" {
+		t.Fatalf("(g) row 1 owner %s, want 30", m[0][0])
+	}
+	if m[15][0] != "00" { // i=16 -> 0
+		t.Fatalf("(g) row 16 owner %s, want 00", m[15][0])
+	}
+}
+
+func TestFig1CaseH_BlockCyclic2D(t *testing.T) {
+	c := Fig1Cases(16)[7]
+	m := LayoutMatrix(c.Grid, []int{16, 16}, c.Scheme)
+	// Paper prints the 2x2 block-cyclic checkerboard 00 01 00 01 / 10 11 10 11 ...
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			want := string(rune('0'+(i/4)%2)) + string(rune('0'+(j/4)%2))
+			if m[i][j] != want {
+				t.Fatalf("(h) m[%d][%d] = %s, want %s", i, j, m[i][j], want)
+			}
+		}
+	}
+}
+
+func TestOwnerLabelReplication(t *testing.T) {
+	if OwnerLabel([]int{All, 2}) != "*2" || OwnerLabel([]int{1, 0}) != "10" {
+		t.Fatal("OwnerLabel wrong")
+	}
+}
+
+func TestBlockLabels(t *testing.T) {
+	m := [][]string{{"00", "00", "01", "01"}, {"10", "10", "11", "11"}}
+	got := BlockLabels(m)
+	if len(got) != 2 || got[0] != "00 01" || got[1] != "10 11" {
+		t.Fatalf("BlockLabels = %v", got)
+	}
+}
+
+func TestLayoutMatrixPanicsOn1D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LayoutMatrix(grid.New(2), []int{4}, Scheme1D(Cyclic(0), nil))
+}
+
+func TestFig1AllCasesRenderable(t *testing.T) {
+	for _, c := range Fig1Cases(16) {
+		m := LayoutMatrix(c.Grid, []int{16, 16}, c.Scheme)
+		lines := BlockLabels(m)
+		if len(lines) != 16 {
+			t.Fatalf("case (%s): %d lines", c.Name, len(lines))
+		}
+		for _, l := range lines {
+			if strings.TrimSpace(l) == "" {
+				t.Fatalf("case (%s): empty label line", c.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dmcc/internal/grid"
+)
+
+func TestPlanIdenticalSchemesIsEmpty(t *testing.T) {
+	g := grid.New(4)
+	s := Scheme1D(BlockContiguous(16, 4, 0), nil)
+	p := NewPlan(g, []int{16}, s, s)
+	if p.TotalWords != 0 || len(p.Moves) != 0 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if !Identical(g, []int{16}, s, s) {
+		t.Fatal("Identical(s,s) = false")
+	}
+}
+
+func TestPlanBlockToCyclic(t *testing.T) {
+	g := grid.New(4)
+	block := Scheme1D(BlockContiguous(16, 4, 0), nil)
+	cyc := Scheme1D(Cyclic(0), nil)
+	p := NewPlan(g, []int{16}, block, cyc)
+	// Element i stays put iff floor((i-1)/4) == (i-1) mod 4: i = 1, 6, 11, 16.
+	if p.TotalWords != 12 {
+		t.Fatalf("TotalWords = %d, want 12", p.TotalWords)
+	}
+	if Identical(g, []int{16}, block, cyc) {
+		t.Fatal("block and cyclic reported identical")
+	}
+}
+
+func TestPlanPartitionedToReplicated(t *testing.T) {
+	g := grid.New(4)
+	part := Scheme1D(BlockContiguous(8, 4, 0), nil)
+	repl := Scheme1D(Replicated(0), nil)
+	p := NewPlan(g, []int{8}, part, repl)
+	// Every element must reach the 3 processors that lack it: 8*3 = 24.
+	if p.TotalWords != 24 {
+		t.Fatalf("TotalWords = %d, want 24", p.TotalWords)
+	}
+	// Reverse direction is free: every target already holds the data.
+	p2 := NewPlan(g, []int{8}, repl, part)
+	if p2.TotalWords != 0 {
+		t.Fatalf("replicated->partitioned moved %d words", p2.TotalWords)
+	}
+}
+
+func TestPlanRowToColumnDistribution(t *testing.T) {
+	// The Jacobi L1->L2 scheme change of Section 4 (Fig 4): a 2-D array
+	// switching from row blocks to column blocks on a linear grid of 4.
+	g := grid.New(4, 1)
+	m := 8
+	rows := Scheme2D(BlockContiguous(m, 4, 0), Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil)
+	cols := Scheme2D(Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, BlockContiguous(m, 4, 0), nil)
+	if err := rows.Validate(g, []int{m, m}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cols.Validate(g, []int{m, m}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(g, []int{m, m}, rows, cols)
+	// All elements except the diagonal blocks move: 64 - 4*4 = 48.
+	if p.TotalWords != 48 {
+		t.Fatalf("TotalWords = %d, want 48", p.TotalWords)
+	}
+	// Perfect symmetry: every processor sends and receives 12 words.
+	if p.MaxInWords != 12 || p.MaxOutWords != 12 {
+		t.Fatalf("MaxIn/Out = %d/%d, want 12/12", p.MaxInWords, p.MaxOutWords)
+	}
+}
+
+func TestPlanMovesAggregatePerPair(t *testing.T) {
+	g := grid.New(2)
+	a := Scheme1D(BlockContiguous(8, 2, 0), nil)
+	b := Scheme1D(BlockContiguousDecreasing(8, 2, 0), nil)
+	p := NewPlan(g, []int{8}, a, b)
+	// Complete swap: 0 -> 1 (4 words) and 1 -> 0 (4 words).
+	if len(p.Moves) != 2 || p.TotalWords != 8 {
+		t.Fatalf("plan = %+v", p)
+	}
+	for _, mv := range p.Moves {
+		if mv.Words != 4 || mv.Src == mv.Dst {
+			t.Fatalf("move = %+v", mv)
+		}
+	}
+}
+
+// Property: a redistribution plan never moves more words than
+// (number of elements) x (number of destination owners per element),
+// and moving to a scheme and back costs the same in both directions for
+// partitioned schemes (symmetric difference of the layouts).
+func TestPlanSymmetryQuick(t *testing.T) {
+	f := func(sizeRaw, blockRaw uint8) bool {
+		n := 4
+		size := int(sizeRaw)%30 + n
+		block := int(blockRaw)%4 + 1
+		g := grid.New(n)
+		a := Scheme1D(BlockContiguous(size, n, 0), nil)
+		b := Scheme1D(BlockCyclic(block, 0), nil)
+		if a.Validate(g, []int{size}) != nil || b.Validate(g, []int{size}) != nil {
+			return false
+		}
+		ab := NewPlan(g, []int{size}, a, b)
+		ba := NewPlan(g, []int{size}, b, a)
+		if ab.TotalWords != ba.TotalWords {
+			return false
+		}
+		return ab.TotalWords <= size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachIndexCoversShape(t *testing.T) {
+	var seen [][]int
+	forEachIndex([]int{2, 3}, func(idx []int) {
+		seen = append(seen, append([]int(nil), idx...))
+	})
+	if len(seen) != 6 {
+		t.Fatalf("visited %d", len(seen))
+	}
+	if seen[0][0] != 1 || seen[0][1] != 1 || seen[5][0] != 2 || seen[5][1] != 3 {
+		t.Fatalf("order wrong: %v", seen)
+	}
+}

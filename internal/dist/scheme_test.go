@@ -1,0 +1,354 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dmcc/internal/grid"
+)
+
+func TestBlockContiguous1D(t *testing.T) {
+	g := grid.New(4)
+	s := Scheme1D(BlockContiguous(16, 4, 0), nil)
+	if err := s.Validate(g, []int{16}); err != nil {
+		t.Fatal(err)
+	}
+	// f(i) = floor((i-1)/4): 1..4 -> 0, 5..8 -> 1, ...
+	for i := 1; i <= 16; i++ {
+		want := (i - 1) / 4
+		if got := s.GridCoords(g, i)[0]; got != want {
+			t.Fatalf("f(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Local index is the offset within the block.
+	if s.LocalIndex(g, 0, 1) != 0 || s.LocalIndex(g, 0, 6) != 1 || s.LocalIndex(g, 0, 16) != 3 {
+		t.Fatal("local indices wrong")
+	}
+}
+
+func TestCyclic1D(t *testing.T) {
+	g := grid.New(4)
+	s := Scheme1D(Cyclic(0), nil)
+	if err := s.Validate(g, []int{10}); err != nil {
+		t.Fatal(err)
+	}
+	// f(i) = (i-1) mod 4.
+	for i := 1; i <= 10; i++ {
+		if got := s.GridCoords(g, i)[0]; got != (i-1)%4 {
+			t.Fatalf("f(%d) = %d", i, got)
+		}
+	}
+	// Local index: owned elements pack consecutively: i=1 -> 0, i=5 -> 1, i=9 -> 2 on proc 0.
+	if s.LocalIndex(g, 0, 1) != 0 || s.LocalIndex(g, 0, 5) != 1 || s.LocalIndex(g, 0, 9) != 2 {
+		t.Fatal("cyclic local indices wrong")
+	}
+	if s.LocalCount(g, 0, 10, 0) != 3 || s.LocalCount(g, 0, 10, 1) != 3 || s.LocalCount(g, 0, 10, 3) != 2 {
+		t.Fatal("cyclic local counts wrong")
+	}
+}
+
+func TestBlockCyclic1D(t *testing.T) {
+	g := grid.New(2)
+	s := Scheme1D(BlockCyclic(3, 0), nil)
+	// blocks of 3, round robin on 2 procs: 1-3 ->0, 4-6 ->1, 7-9 ->0, ...
+	wants := []int{0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1}
+	for i, w := range wants {
+		if got := s.GridCoords(g, i+1)[0]; got != w {
+			t.Fatalf("f(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	// Local packing on proc 0: global 1,2,3,7,8,9 -> local 0..5.
+	globals := []int{1, 2, 3, 7, 8, 9}
+	for li, gi := range globals {
+		if got := s.LocalIndex(g, 0, gi); got != li {
+			t.Fatalf("local(%d) = %d, want %d", gi, got, li)
+		}
+	}
+}
+
+func TestDecreasing1D(t *testing.T) {
+	g := grid.New(4)
+	s := Scheme1D(BlockContiguousDecreasing(16, 4, 0), nil)
+	if err := s.Validate(g, []int{16}); err != nil {
+		t.Fatal(err)
+	}
+	// f(i) = floor((-i+16)/4): i=1 -> 3, i=16 -> 0.
+	if s.GridCoords(g, 1)[0] != 3 || s.GridCoords(g, 16)[0] != 0 || s.GridCoords(g, 8)[0] != 2 {
+		t.Fatal("decreasing map wrong")
+	}
+}
+
+func TestReplicatedOwners(t *testing.T) {
+	g := grid.New(2, 3)
+	s := Scheme2D(BlockContiguous(4, 2, 0), Replicated(1), nil)
+	if err := s.Validate(g, []int{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	owners := s.Owners(g, 1, 1)
+	if len(owners) != 3 {
+		t.Fatalf("owners = %v", owners)
+	}
+	for _, r := range owners {
+		if g.Coord(r, 0) != 0 {
+			t.Fatalf("owner %d not in processor row 0", r)
+		}
+		if !s.IsOwner(g, r, 1, 1) {
+			t.Fatalf("IsOwner disagrees for %d", r)
+		}
+	}
+	if s.IsOwner(g, g.Rank(1, 0), 1, 1) {
+		t.Fatal("row 1 should not own element (1,1)")
+	}
+}
+
+func TestFixedDimensions(t *testing.T) {
+	g := grid.New(2, 3)
+	// 1-D array on a 2-D grid: rows to grid dim 0, grid dim 1 pinned to 2.
+	s := Scheme1D(BlockContiguous(4, 2, 0), map[int]int{1: 2})
+	if err := s.Validate(g, []int{4}); err != nil {
+		t.Fatal(err)
+	}
+	owners := s.Owners(g, 3)
+	if len(owners) != 1 || owners[0] != g.Rank(1, 2) {
+		t.Fatalf("owners = %v", owners)
+	}
+	// Replicated along the unused dimension.
+	s2 := Scheme1D(BlockContiguous(4, 2, 0), map[int]int{1: All})
+	owners2 := s2.Owners(g, 3)
+	if len(owners2) != 3 {
+		t.Fatalf("owners2 = %v", owners2)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	g := grid.New(2, 2)
+	cases := []struct {
+		name  string
+		s     Scheme
+		shape []int
+	}{
+		{"wrong arity", Scheme1D(BlockContiguous(4, 2, 0), nil), []int{4, 4}},
+		{"grid dim oob", Scheme1D(Dim{Sign: 1, Disp: -1, Block: 2, GridDim: 5}, map[int]int{1: 0}), []int{4}},
+		{"dup grid dim", Scheme2D(BlockContiguous(4, 2, 0), BlockContiguous(4, 2, 0), nil), []int{4, 4}},
+		{"bad sign", Scheme1D(Dim{Sign: 0, Disp: -1, Block: 2, GridDim: 0}, map[int]int{1: 0}), []int{4}},
+		{"bad block", Scheme1D(Dim{Sign: 1, Disp: -1, Block: 0, GridDim: 0}, map[int]int{1: 0}), []int{4}},
+		{"negative z", Scheme1D(Dim{Sign: -1, Disp: 0, Block: 2, GridDim: 0}, map[int]int{1: 0}), []int{4}},
+		{"contiguous overflow", Scheme1D(Dim{Sign: 1, Disp: -1, Block: 1, GridDim: 0}, map[int]int{1: 0}), []int{4}},
+		{"unmapped grid dim", Scheme1D(BlockContiguous(4, 2, 0), map[int]int{}), []int{4}},
+		{"fixed oob", Scheme1D(BlockContiguous(4, 2, 0), map[int]int{1: 7}), []int{4}},
+		{"rotation on 1-D", Scheme{Dims: []Dim{BlockContiguous(4, 2, 0)}, Rot: RotateDim2ByDim1, D1: 1, D2: 1, Fixed: map[int]int{1: 0}}, []int{4}},
+		{"rotation bad coeff", Scheme2DRotated(BlockContiguous(4, 2, 0), BlockContiguous(4, 2, 1), RotateDim2ByDim1, 0, 1, nil), []int{4, 4}},
+		{"rotation with replication", Scheme2DRotated(BlockContiguous(4, 2, 0), Replicated(1), RotateDim2ByDim1, 1, 1, nil), []int{4, 4}},
+		{"mapped and fixed", Scheme1D(BlockContiguous(4, 2, 0), map[int]int{0: 0, 1: 0}), []int{4}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(g, c.shape); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestEquation1JacobiSchemes(t *testing.T) {
+	// Equation (1), Section 3: fA(i,j) = (floor((i-1)/(m/N1)), floor((j-1)/(m/N2))),
+	// fV(i) = floor((i-1)/(m/N1)), fX(j) = fB(j) = floor((j-1)/(m/N2)).
+	m := 8
+	g := grid.New(2, 4)
+	a := Scheme2D(BlockContiguous(m, 2, 0), BlockContiguous(m, 4, 1), nil)
+	v := Scheme1D(BlockContiguous(m, 2, 0), map[int]int{1: All})
+	x := Scheme1D(BlockContiguous(m, 4, 1), map[int]int{0: All})
+	if err := a.Validate(g, []int{m, m}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(g, []int{m}); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Validate(g, []int{m}); err != nil {
+		t.Fatal(err)
+	}
+	// A(3,7) lives on processor (floor(2/4), floor(6/2)) = (0, 3).
+	if c := a.GridCoords(g, 3, 7); c[0] != 0 || c[1] != 3 {
+		t.Fatalf("A(3,7) coords = %v", c)
+	}
+	// V(5) lives on processor row 1, all columns.
+	if c := v.GridCoords(g, 5); c[0] != 1 || c[1] != All {
+		t.Fatalf("V(5) coords = %v", c)
+	}
+}
+
+func TestOwnedIndicesPartitionArray(t *testing.T) {
+	// Every index owned by exactly one coordinate for partitioned dims.
+	g := grid.New(4)
+	schemes := []Scheme{
+		Scheme1D(BlockContiguous(17, 4, 0), nil),
+		Scheme1D(Cyclic(0), nil),
+		Scheme1D(BlockCyclic(3, 0), nil),
+		Scheme1D(BlockContiguousDecreasing(17, 4, 0), nil),
+	}
+	for _, s := range schemes {
+		if err := s.Validate(g, []int{17}); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		seen := map[int]int{}
+		for c := 0; c < 4; c++ {
+			for _, i := range s.OwnedIndices(g, 0, 17, c) {
+				seen[i]++
+			}
+		}
+		if len(seen) != 17 {
+			t.Fatalf("%v: %d indices covered", s, len(seen))
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("%v: index %d owned %d times", s, i, n)
+			}
+		}
+	}
+}
+
+// Property: for any partitioned 1-D scheme, the local indices of the
+// owned elements of each processor are exactly 0..count-1 (dense packing).
+func TestLocalIndexDensePackingQuick(t *testing.T) {
+	f := func(blockRaw, sizeRaw uint8, cyclic, decreasing bool) bool {
+		n := 4
+		g := grid.New(n)
+		size := int(sizeRaw)%40 + n
+		block := int(blockRaw)%5 + 1
+		if !cyclic {
+			block = ceilDiv(size, n)
+		}
+		d := Dim{Sign: 1, Disp: -1, Block: block, Cyclic: cyclic, GridDim: 0}
+		if decreasing {
+			d.Sign, d.Disp = -1, size
+		}
+		s := Scheme1D(d, nil)
+		if err := s.Validate(g, []int{size}); err != nil {
+			return false
+		}
+		for c := 0; c < n; c++ {
+			owned := s.OwnedIndices(g, 0, size, c)
+			locals := map[int]bool{}
+			for _, i := range owned {
+				locals[s.LocalIndex(g, 0, i)] = true
+			}
+			if len(locals) != len(owned) {
+				return false
+			}
+			for li := 0; li < len(owned); li++ {
+				if !locals[li] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCannonRotatedSchemes(t *testing.T) {
+	// Fig 1 (b): fA(i,j) = (b1, (-b1 - b2) mod 4) where bk = floor((idx-1)/4).
+	g := grid.New(4, 4)
+	s := Fig1Cases(16)[1].Scheme
+	if err := s.Validate(g, []int{16, 16}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 16; i++ {
+		for j := 1; j <= 16; j++ {
+			b1 := (i - 1) / 4
+			b2 := (j - 1) / 4
+			want := []int{b1, (((-b1 - b2) % 4) + 4) % 4}
+			if got := s.GridCoords(g, i, j); !reflect.DeepEqual(got, want) {
+				t.Fatalf("(b) f(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	// Fig 1 (c): fA(i,j) = ((-b1 - b2) mod 4, b2).
+	sc := Fig1Cases(16)[2].Scheme
+	for i := 1; i <= 16; i++ {
+		for j := 1; j <= 16; j++ {
+			b1 := (i - 1) / 4
+			b2 := (j - 1) / 4
+			want := []int{(((-b1 - b2) % 4) + 4) % 4, b2}
+			if got := sc.GridCoords(g, i, j); !reflect.DeepEqual(got, want) {
+				t.Fatalf("(c) f(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	g := grid.New(4)
+	_ = g
+	s := Scheme2DRotated(BlockContiguous(16, 4, 0), Cyclic(1), RotateDim2ByDim1, -1, 1, nil)
+	str := s.String()
+	for _, want := range []string{"block(4)", "cyclic", "rotated"} {
+		if !contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+	sd := Scheme1D(BlockContiguousDecreasing(16, 4, 0), map[int]int{1: 0})
+	if !contains(sd.String(), "block(4)-") {
+		t.Errorf("decreasing String() = %q", sd.String())
+	}
+	sr := Scheme1D(Replicated(0), nil)
+	if !contains(sr.String(), "repl") {
+		t.Errorf("replicated String() = %q", sr.String())
+	}
+	sbc := Scheme1D(BlockCyclic(2, 0), nil)
+	if !contains(sbc.String(), "blockcyclic(2)") {
+		t.Errorf("block-cyclic String() = %q", sbc.String())
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: GlobalIndex inverts LocalIndex on every owned element for all
+// standard distribution kinds.
+func TestGlobalIndexInvertsLocalIndexQuick(t *testing.T) {
+	f := func(sizeRaw, blockRaw uint8, cyclic, decreasing bool) bool {
+		n := 4
+		g := grid.New(n)
+		size := int(sizeRaw)%40 + n
+		block := int(blockRaw)%5 + 1
+		if !cyclic {
+			block = ceilDiv(size, n)
+		}
+		d := Dim{Sign: 1, Disp: -1, Block: block, Cyclic: cyclic, GridDim: 0}
+		if decreasing {
+			d.Sign, d.Disp = -1, size
+		}
+		s := Scheme1D(d, nil)
+		if s.Validate(g, []int{size}) != nil {
+			return false
+		}
+		for c := 0; c < n; c++ {
+			for _, i := range s.OwnedIndices(g, 0, size, c) {
+				li := s.LocalIndex(g, 0, i)
+				if s.GlobalIndex(g, 0, c, li) != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalIndexReplicated(t *testing.T) {
+	g := grid.New(3)
+	s := Scheme1D(Replicated(0), nil)
+	if s.GlobalIndex(g, 0, 1, 4) != 5 {
+		t.Fatal("replicated GlobalIndex wrong")
+	}
+}

@@ -1,0 +1,181 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmcc/internal/align"
+	"dmcc/internal/core"
+	"dmcc/internal/ir"
+	"dmcc/internal/machine"
+)
+
+// randomProgram builds a random but valid IR program: 1-3 nests over 2-3
+// arrays, identity or +-1 subscripts (bounds keep them in range), and
+// division-free RHS trees so no NaN can appear.
+func randomProgram(rng *rand.Rand) *ir.Program {
+	m := ir.V("m")
+	names := []string{"P", "Q", "R"}[:2+rng.Intn(2)]
+	p := &ir.Program{
+		Name:      "fuzz",
+		Iterative: rng.Intn(2) == 0,
+		Params:    []string{"m"},
+		Arrays:    map[string]*ir.Array{},
+	}
+	ranks := map[string]int{}
+	for _, n := range names {
+		rank := 1 + rng.Intn(2)
+		ranks[n] = rank
+		ext := make([]ir.Affine, rank)
+		for i := range ext {
+			ext[i] = m
+		}
+		p.Arrays[n] = &ir.Array{Name: n, Extents: ext}
+	}
+
+	subFor := func(idxVars []string, k int) ir.Affine {
+		v := idxVars[k%len(idxVars)]
+		switch rng.Intn(3) {
+		case 0:
+			return ir.V(v)
+		case 1:
+			return ir.V(v).PlusConst(-1)
+		default:
+			return ir.V(v).PlusConst(1)
+		}
+	}
+	refFor := func(arr string, idxVars []string) ir.Ref {
+		subs := make([]ir.Affine, ranks[arr])
+		for k := range subs {
+			subs[k] = subFor(idxVars, k+rng.Intn(2))
+		}
+		return ir.Ref{Array: arr, Subs: subs}
+	}
+
+	nNests := 1 + rng.Intn(3)
+	for t := 0; t < nNests; t++ {
+		depth := 1 + rng.Intn(2)
+		idxVars := []string{"i", "j"}[:depth]
+		nest := &ir.Nest{Label: fmt.Sprintf("N%d", t+1)}
+		for d := 0; d < depth; d++ {
+			// Bounds 2..m-1 keep +-1 subscripts legal.
+			nest.Loops = append(nest.Loops, ir.Loop{
+				Index: idxVars[d], Lo: ir.Const(2), Hi: m.PlusConst(-1), Step: 1,
+			})
+		}
+		nStmts := 1 + rng.Intn(2)
+		for s := 0; s < nStmts; s++ {
+			lhsArr := names[rng.Intn(len(names))]
+			// The LHS uses identity subscripts so owner-computes is clean.
+			lhsSubs := make([]ir.Affine, ranks[lhsArr])
+			for k := range lhsSubs {
+				lhsSubs[k] = ir.V(idxVars[k%len(idxVars)])
+			}
+			lhs := ir.Ref{Array: lhsArr, Subs: lhsSubs}
+			// RHS: a small sum/product tree over random refs and constants;
+			// no division, coefficients shrink values to avoid overflow.
+			r1 := refFor(names[rng.Intn(len(names))], idxVars)
+			r2 := refFor(names[rng.Intn(len(names))], idxVars)
+			var rhs ir.Expr
+			switch rng.Intn(3) {
+			case 0:
+				rhs = ir.Add(ir.MulE(ir.Num(0.5), ir.Rd(r1)), ir.MulE(ir.Num(0.25), ir.Rd(r2)))
+			case 1:
+				rhs = ir.Sub(ir.Rd(r1), ir.MulE(ir.Num(0.5), ir.Rd(r2)))
+			default:
+				rhs = ir.Add(ir.MulE(ir.Num(0.5), ir.Rd(lhs)), ir.MulE(ir.Num(0.125), ir.Rd(r1)))
+			}
+			reads := ir.ExprReads(rhs)
+			nest.Stmts = append(nest.Stmts, &ir.Stmt{
+				Line:  10*t + s + 1,
+				Depth: depth,
+				LHS:   lhs,
+				Reads: reads,
+				RHS:   rhs,
+				Flops: ir.ExprFlops(rhs),
+				Text:  fmt.Sprintf("%s = %s", lhs, rhs),
+			})
+		}
+		p.Nests = append(p.Nests, nest)
+	}
+	return p
+}
+
+// TestExecDifferentialFuzz: for random programs, random schemes (via the
+// compiler) and random inputs, the parallel naive backend agrees with the
+// sequential interpreter on every processor count.
+func TestExecDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260705))
+	const m = 8
+	for trial := 0; trial < 25; trial++ {
+		p := randomProgram(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
+		}
+		// Random inputs.
+		input := ir.NewStorage(p)
+		for name, arr := range p.Arrays {
+			if arr.Rank() == 1 {
+				for i := 1; i <= m; i++ {
+					input.Store(name, []int{i}, rng.Float64()*2-1)
+				}
+			} else {
+				for i := 1; i <= m; i++ {
+					for j := 1; j <= m; j++ {
+						input.Store(name, []int{i, j}, rng.Float64()*2-1)
+					}
+				}
+			}
+		}
+		iters := 1 + rng.Intn(2)
+
+		// Sequential reference on a deep copy.
+		ref := ir.NewStorage(p)
+		for name, elems := range input {
+			for k, v := range elems {
+				ref[name][k] = v
+			}
+		}
+		if err := ir.EvalProgram(p, map[string]int{"m": m}, ref, nil, iters); err != nil {
+			t.Fatalf("trial %d: sequential eval: %v", trial, err)
+		}
+
+		for _, n := range []int{1, 2, 4} {
+			ss := fuzzSchemes(t, p, m, n)
+			if ss == nil {
+				continue
+			}
+			res, err := Run(p, ss, map[string]int{"m": m}, nil, iters, machine.DefaultConfig(), input)
+			if err != nil {
+				t.Fatalf("trial %d n=%d: %v", trial, n, err)
+			}
+			for name, elems := range ref {
+				for k, want := range elems {
+					got := res.Values[name][k]
+					if d := got - want; d > 1e-9 || d < -1e-9 {
+						t.Fatalf("trial %d n=%d: %s[%s] = %v, want %v\nprogram nests=%d",
+							trial, n, name, k, got, want, len(p.Nests))
+					}
+				}
+			}
+		}
+	}
+}
+
+func fuzzSchemes(t *testing.T, p *ir.Program, m, n int) *core.SchemeSet {
+	t.Helper()
+	g, err := align.BuildGraph(p, p.Nests, align.WeightParams{Bind: map[string]int{"m": m}, N: n, Tc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := align.ExactAlign(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := core.DeriveSchemes(p, pt, [2]int{n, 1}, map[string]int{"m": m}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}

@@ -1,0 +1,86 @@
+// Binary reflected Gray codes and hypercube embedding (Section 2 of the
+// paper, after Ho [10]): a q-D grid whose extents are powers of two embeds
+// into a hypercube so that grid neighbours are hypercube neighbours.
+package grid
+
+import "fmt"
+
+// Gray returns the i-th binary reflected Gray code.
+func Gray(i int) int { return i ^ (i >> 1) }
+
+// GrayInverse returns the index whose Gray code is g.
+func GrayInverse(g int) int {
+	n := 0
+	for ; g != 0; g >>= 1 {
+		n ^= g
+	}
+	return n
+}
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Log2 returns log2(n) for a positive power of two n; it panics otherwise.
+func Log2(n int) int {
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("grid: Log2 of non-power-of-two %d", n))
+	}
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// HypercubeEmbedding maps every grid rank to a hypercube node label such
+// that processors adjacent along any grid dimension (without wraparound;
+// with wraparound too, when the extent is a power of two >= 2, except for
+// extent 2 where wraparound equals the single step) differ in exactly one
+// bit. It returns an error if any extent is not a power of two.
+//
+// The embedding concatenates per-dimension binary reflected Gray codes:
+// dimension d with extent 2^kd contributes kd bits.
+func (g *Grid) HypercubeEmbedding() ([]int, error) {
+	bits := make([]int, len(g.dims))
+	total := 0
+	for d, n := range g.dims {
+		if !IsPowerOfTwo(n) {
+			return nil, fmt.Errorf("grid: extent %d of dim %d is not a power of two; cannot embed in hypercube", n, d)
+		}
+		bits[d] = Log2(n)
+		total += bits[d]
+	}
+	_ = total
+	emb := make([]int, g.size)
+	for r := 0; r < g.size; r++ {
+		t := g.Tuple(r)
+		label := 0
+		for d, c := range t {
+			label = label<<bits[d] | Gray(c)
+		}
+		emb[r] = label
+	}
+	return emb, nil
+}
+
+// HammingDistance returns the number of differing bits between a and b.
+func HammingDistance(a, b int) int {
+	x := a ^ b
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// HypercubeDim returns the number of hypercube dimensions needed for the
+// grid (log2 of the processor count), or an error if the size is not a
+// power of two.
+func (g *Grid) HypercubeDim() (int, error) {
+	if !IsPowerOfTwo(g.size) {
+		return 0, fmt.Errorf("grid: size %d is not a power of two", g.size)
+	}
+	return Log2(g.size), nil
+}

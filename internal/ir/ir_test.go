@@ -1,0 +1,234 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAffineArithmetic(t *testing.T) {
+	a := V("i").PlusConst(-1) // i-1
+	b := V("i").Plus(V("j"))  // i+j
+	if a.Eval(map[string]int{"i": 5}) != 4 {
+		t.Fatal("Eval wrong")
+	}
+	if b.Eval(map[string]int{"i": 2, "j": 3}) != 5 {
+		t.Fatal("Eval wrong")
+	}
+	s := a.Plus(b) // 2i+j-1
+	if s.CoeffOf("i") != 2 || s.CoeffOf("j") != 1 || s.Const != -1 {
+		t.Fatalf("Plus: %s", s)
+	}
+	d := a.Minus(V("i")) // -1
+	if !d.IsConst() || d.Const != -1 {
+		t.Fatalf("Minus: %s", d)
+	}
+	n := b.Neg()
+	if n.CoeffOf("i") != -1 || n.CoeffOf("j") != -1 {
+		t.Fatalf("Neg: %s", n)
+	}
+}
+
+func TestAffineCancellation(t *testing.T) {
+	a := V("i").Plus(V("i").Neg())
+	if !a.IsConst() || a.Const != 0 {
+		t.Fatalf("i + (-i) = %s", a)
+	}
+	if len(a.Vars()) != 0 {
+		t.Fatalf("vars not cancelled: %v", a.Vars())
+	}
+}
+
+func TestAffineEvalUnboundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	V("i").Eval(map[string]int{})
+}
+
+func TestConstDiff(t *testing.T) {
+	a := V("i").PlusConst(2)
+	b := V("i").PlusConst(-1)
+	if d, ok := a.ConstDiff(b); !ok || d != 3 {
+		t.Fatalf("ConstDiff = %d, %v", d, ok)
+	}
+	if _, ok := a.ConstDiff(V("j")); ok {
+		t.Fatal("i+2 vs j should not have constant difference")
+	}
+	// Same variable, different coefficient.
+	if _, ok := NewAffine(0, Term{"i", 2}).ConstDiff(V("i")); ok {
+		t.Fatal("2i vs i should not have constant difference")
+	}
+}
+
+func TestAffineString(t *testing.T) {
+	cases := map[string]Affine{
+		"i-1":  V("i").PlusConst(-1),
+		"i+j":  V("i").Plus(V("j")),
+		"-i+5": V("i").Neg().PlusConst(5),
+		"0":    Const(0),
+		"2i":   NewAffine(0, Term{"i", 2}),
+		"i":    V("i"),
+	}
+	for want, a := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: Eval is linear: eval(a+b) = eval(a)+eval(b).
+func TestAffineEvalLinearQuick(t *testing.T) {
+	f := func(c1, c2, k1, k2 int8, x int8) bool {
+		a := NewAffine(int(k1), Term{"x", int(c1)})
+		b := NewAffine(int(k2), Term{"x", int(c2)})
+		bind := map[string]int{"x": int(x)}
+		return a.Plus(b).Eval(bind) == a.Eval(bind)+b.Eval(bind)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := R("A", V("i"), V("j").PlusConst(-1))
+	if r.String() != "A(i,j-1)" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestProgramsValidate(t *testing.T) {
+	for _, p := range []*Program{Jacobi(), SOR(), Gauss(), Cannon()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestJacobiShape(t *testing.T) {
+	p := Jacobi()
+	if len(p.Nests) != 2 {
+		t.Fatalf("nests = %d", len(p.Nests))
+	}
+	if !p.Iterative {
+		t.Fatal("Jacobi must be iterative")
+	}
+	l1 := p.Nests[0]
+	if l1.Label != "L1" || len(l1.Loops) != 2 || len(l1.Stmts) != 2 {
+		t.Fatalf("L1 shape wrong: %+v", l1)
+	}
+	if !l1.Stmts[1].Reduce {
+		t.Fatal("line 5 must be a reduction")
+	}
+	if _, ok := l1.Loop("j"); !ok {
+		t.Fatal("loop j missing")
+	}
+	if _, ok := l1.Loop("z"); ok {
+		t.Fatal("phantom loop z")
+	}
+	dims := p.AllDims()
+	// A(2) + B + V + X = 5 dims.
+	if len(dims) != 5 {
+		t.Fatalf("dims = %v", dims)
+	}
+	if dims[0].String() != "A1" || dims[1].String() != "A2" {
+		t.Fatalf("dims order: %v", dims)
+	}
+}
+
+func TestGaussShape(t *testing.T) {
+	p := Gauss()
+	if p.Iterative {
+		t.Fatal("Gauss is not iterative")
+	}
+	if len(p.Nests) != 3 {
+		t.Fatalf("nests = %d", len(p.Nests))
+	}
+	g1 := p.Nests[0]
+	if len(g1.Loops) != 3 {
+		t.Fatalf("G1 loops = %d", len(g1.Loops))
+	}
+	// Triangular bound: i runs from k+1.
+	if g1.Loops[1].Lo.CoeffOf("k") != 1 || g1.Loops[1].Lo.Const != 1 {
+		t.Fatalf("G1 i lower bound = %s", g1.Loops[1].Lo)
+	}
+	g3 := p.Nests[2]
+	if g3.Loops[0].Step != -1 {
+		t.Fatal("back substitution must run downward")
+	}
+	// 5 arrays: A,L 2-D; V,B,X 1-D -> 7 dims.
+	if len(p.AllDims()) != 7 {
+		t.Fatalf("dims = %v", p.AllDims())
+	}
+}
+
+func TestValidateCatchesBrokenPrograms(t *testing.T) {
+	p := Jacobi()
+	// Undeclared array.
+	p.Nests[0].Stmts = append(p.Nests[0].Stmts, &Stmt{
+		Line: 99, Depth: 1, LHS: R("Z", V("i")),
+	})
+	if err := p.Validate(); err == nil {
+		t.Fatal("undeclared array not caught")
+	}
+
+	p2 := Jacobi()
+	// Wrong rank.
+	p2.Nests[0].Stmts[0].LHS = R("A", V("i"))
+	if err := p2.Validate(); err == nil {
+		t.Fatal("rank mismatch not caught")
+	}
+
+	p3 := Jacobi()
+	// Out-of-scope index: j used at depth 1.
+	p3.Nests[0].Stmts[0].LHS = R("V", V("j"))
+	if err := p3.Validate(); err == nil {
+		t.Fatal("out-of-scope index not caught")
+	}
+
+	p4 := Jacobi()
+	p4.Nests[0].Stmts[0].Depth = 7
+	if err := p4.Validate(); err == nil {
+		t.Fatal("bad depth not caught")
+	}
+}
+
+func TestArrayLookupPanics(t *testing.T) {
+	p := Jacobi()
+	if p.Array("A").Rank() != 2 {
+		t.Fatal("A rank")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Array("nope")
+}
+
+func TestPrintRendersAllPrograms(t *testing.T) {
+	for _, p := range []*Program{Jacobi(), SOR(), Gauss(), Cannon(), Stencil()} {
+		src := Print(p)
+		for _, want := range []string{"PROGRAM " + p.Name, "PARAM m", "REAL", "END"} {
+			if !strings.Contains(src, want) {
+				t.Errorf("%s: printed source missing %q\n%s", p.Name, want, src)
+			}
+		}
+		if p.Iterative && !strings.Contains(src, "MAX_ITERATION") {
+			t.Errorf("%s: iterative wrapper missing", p.Name)
+		}
+	}
+}
+
+func TestPrintPreservesStatementPositions(t *testing.T) {
+	// SOR's line 7 must print after the inner loop's CONTINUE.
+	src := Print(SOR())
+	i5 := strings.Index(src, "V(i) + (A(i,j) * X(j))")
+	i7 := strings.Index(src, "OMEGA")
+	cont := strings.Index(src[i5:], "CONTINUE")
+	if !(i5 >= 0 && i7 > i5 && i5+cont < i7) {
+		t.Fatalf("statement order wrong:\n%s", src)
+	}
+}

@@ -1,0 +1,113 @@
+// Pretty-printing: render an IR program back to the frontend source
+// syntax (package parse), so compiled or generated programs can be
+// dumped, diffed, and re-parsed. Print and parse.Parse round-trip.
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Print renders the program in the frontend syntax accepted by
+// package parse.
+func Print(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROGRAM %s\n", p.Name)
+	if len(p.Params) > 0 {
+		fmt.Fprintf(&b, "PARAM %s\n", strings.Join(p.Params, ", "))
+	}
+	names := make([]string, 0, len(p.Arrays))
+	for n := range p.Arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var decls []string
+	for _, n := range names {
+		arr := p.Arrays[n]
+		ext := make([]string, arr.Rank())
+		for i, e := range arr.Extents {
+			ext[i] = e.String()
+		}
+		decls = append(decls, fmt.Sprintf("%s(%s)", n, strings.Join(ext, ",")))
+	}
+	fmt.Fprintf(&b, "REAL %s\n", strings.Join(decls, ", "))
+
+	label := 100 // generated loop-end labels, clear of paper line numbers
+	if p.Iterative {
+		fmt.Fprintf(&b, "DO %d k0 = 1, MAX_ITERATION\n", label)
+	}
+	for _, nest := range p.Nests {
+		emit(&b, nest, &label)
+	}
+	if p.Iterative {
+		fmt.Fprintf(&b, "100 CONTINUE\n")
+	}
+	b.WriteString("END\n")
+	return b.String()
+}
+
+func printStmt(b *strings.Builder, st *Stmt, indent string) {
+	rhs := "0.0"
+	if st.RHS != nil {
+		rhs = exprSrc(st.RHS)
+	}
+	if st.Line > 0 {
+		fmt.Fprintf(b, "%d %s%s = %s\n", st.Line, indent, st.LHS, rhs)
+	} else {
+		fmt.Fprintf(b, "%s%s = %s\n", indent, st.LHS, rhs)
+	}
+}
+
+// exprSrc renders an expression in the frontend's infix syntax (fully
+// parenthesized, which the parser accepts).
+func exprSrc(e Expr) string {
+	switch v := e.(type) {
+	case Num:
+		return fmt.Sprintf("%g", float64(v))
+	case Scalar:
+		return string(v)
+	case RefE:
+		return v.Ref.String()
+	case NegE:
+		return fmt.Sprintf("(-%s)", exprSrc(v.E))
+	case BinOp:
+		return fmt.Sprintf("(%s %c %s)", exprSrc(v.L), v.Op, exprSrc(v.R))
+	}
+	return "0.0"
+}
+
+// emit renders a nest with one distinct label per loop, closing each loop
+// with its own CONTINUE so pre/post statement positions are preserved.
+func emit(b *strings.Builder, nest *Nest, label *int) {
+	ind := func(d int) string { return strings.Repeat("  ", d) }
+	labels := make([]int, len(nest.Loops))
+	for i := range labels {
+		*label++
+		labels[i] = *label
+	}
+	var walk func(level int)
+	walk = func(level int) {
+		for _, st := range nest.Stmts {
+			if st.Depth == level && !nest.IsPost(st) {
+				printStmt(b, st, ind(level))
+			}
+		}
+		if level < len(nest.Loops) {
+			l := nest.Loops[level]
+			if l.Step == -1 {
+				fmt.Fprintf(b, "%sDO %d %s = %s, %s, -1\n", ind(level), labels[level], l.Index, l.Lo, l.Hi)
+			} else {
+				fmt.Fprintf(b, "%sDO %d %s = %s, %s\n", ind(level), labels[level], l.Index, l.Lo, l.Hi)
+			}
+			walk(level + 1)
+			fmt.Fprintf(b, "%s%d CONTINUE\n", ind(level), labels[level])
+		}
+		for _, st := range nest.Stmts {
+			if st.Depth == level && nest.IsPost(st) {
+				printStmt(b, st, ind(level))
+			}
+		}
+	}
+	walk(0)
+}

@@ -1,0 +1,242 @@
+// Extensions of the Section 6 Gauss kernels:
+//
+//   - GaussPipelinedBlockCyclic generalizes the cyclic row distribution
+//     to block-cyclic blocks (Fig 1 (f)/(h) style), so the load-balance
+//     choice of Section 6 can be measured on the executing kernel: block
+//     size 1 is the paper's cyclic layout, block size m/N is contiguous.
+//
+//   - GaussPartialPivot adds partial (row) pivoting — the numerical
+//     stability extension. The pivot search is a Reduction with a
+//     max-|value| operator over the ring (one more collective per step),
+//     and the row swap is a point-to-point exchange between the two
+//     owners; everything else pipelines as in Fig 8.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"dmcc/internal/grid"
+	"dmcc/internal/machine"
+	"dmcc/internal/matrix"
+)
+
+// newGaussLocalOwner is newGaussLocal with an arbitrary row->owner map.
+func newGaussLocalOwner(p *machine.Proc, a *matrix.Dense, b []float64, ownerOf func(int) int) *gaussLocal {
+	m := a.Rows
+	me := p.Rank()
+	g := &gaussLocal{m: m, me: me, rowPos: map[int]int{}}
+	for i := 0; i < m; i++ {
+		if ownerOf(i) != me {
+			continue
+		}
+		g.rowPos[i] = len(g.rows)
+		g.rows = append(g.rows, i)
+		g.a = append(g.a, append([]float64(nil), a.Row(i)...))
+		g.l = append(g.l, make([]float64, m))
+		g.b = append(g.b, b[i])
+		g.v = append(g.v, 0)
+		g.x = append(g.x, 0)
+	}
+	return g
+}
+
+// gaussPipelineRun is the Fig 8 pipeline parameterized by the row->owner
+// map; GaussPipelined is the ownerOf(i) = i mod N instance.
+func gaussPipelineRun(cfg machine.Config, a *matrix.Dense, b []float64, n int, ownerOf func(int) int) (Result, error) {
+	m := a.Rows
+	if err := checkRing(m, n); err != nil {
+		return Result{}, err
+	}
+	if cfg.ChanCap < 2*m+2 {
+		cfg.ChanCap = 2*m + 2
+	}
+	gr := grid.New(n)
+	mach := machine.New(gr, cfg)
+	w := newDisjointWriter(m)
+
+	st, err := mach.Run(func(p *machine.Proc) {
+		l := newGaussLocalOwner(p, a, b, ownerOf)
+		right := p.Grid().NeighbourPlus(p.Rank(), 0)
+		left := p.Grid().NeighbourMinus(p.Rank(), 0)
+
+		for k := 0; k < m; k++ {
+			owner := ownerOf(k)
+			var pivA []machine.Word
+			var pivB machine.Word
+			if p.Rank() == owner {
+				payload := l.pivotPayload(k)
+				if n > 1 {
+					p.Send(right, payload)
+				}
+				pivA, pivB = payload[:len(payload)-1], payload[len(payload)-1]
+			} else {
+				payload := p.Recv(left)
+				if right != owner {
+					p.Send(right, payload)
+				}
+				pivA, pivB = payload[:len(payload)-1], payload[len(payload)-1]
+			}
+			l.eliminate(p, k, pivA, pivB)
+		}
+
+		for j := m - 1; j >= 0; j-- {
+			owner := ownerOf(j)
+			var xj float64
+			if p.Rank() == owner {
+				pos := l.rowPos[j]
+				xj = (l.b[pos] - l.v[pos]) / l.a[pos][j]
+				p.Compute(2)
+				l.x[pos] = xj
+				if n > 1 {
+					p.SendValue(left, xj)
+				}
+			} else {
+				xj = p.RecvValue(right)
+				if left != owner {
+					p.SendValue(left, xj)
+				}
+			}
+			l.backUpdate(p, j, xj)
+		}
+		for pos, i := range l.rows {
+			w.put(i, l.x[pos])
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{X: w.out, Stats: st}, nil
+}
+
+// GaussPipelinedBlockCyclic solves A x = b with the Fig 8 pipeline on a
+// block-cyclic row distribution: row i lives on processor
+// (floor(i/block)) mod N. block = 1 is GaussPipelined's layout.
+func GaussPipelinedBlockCyclic(cfg machine.Config, a *matrix.Dense, b []float64, n, block int) (Result, error) {
+	if block < 1 {
+		return Result{}, fmt.Errorf("kernels: gauss: block size %d must be at least 1", block)
+	}
+	return gaussPipelineRun(cfg, a, b, n, func(i int) int { return (i / block) % n })
+}
+
+// maxAbsPairOp reduces (|value|, row) pairs keeping the largest absolute
+// value; ties prefer the smaller row index, matching the sequential
+// first-maximum pivot choice.
+func maxAbsPairOp(acc, in []machine.Word) {
+	if in[0] > acc[0] || (in[0] == acc[0] && in[1] < acc[1]) {
+		acc[0], acc[1] = in[0], in[1]
+	}
+}
+
+// GaussPartialPivot solves A x = b on a ring with cyclic rows and partial
+// pivoting. Per elimination step: a Reduction finds the largest |A(i,k)|
+// over the remaining rows, the two owners exchange the rows, then the
+// pivot row pipelines as in Fig 8.
+func GaussPartialPivot(cfg machine.Config, a *matrix.Dense, b []float64, n int) (Result, error) {
+	m := a.Rows
+	if err := checkRing(m, n); err != nil {
+		return Result{}, err
+	}
+	if cfg.ChanCap < 2*m+4 {
+		cfg.ChanCap = 2*m + 4
+	}
+	gr := grid.New(n)
+	mach := machine.New(gr, cfg)
+	w := newDisjointWriter(m)
+	ownerOf := func(i int) int { return i % n }
+
+	st, err := mach.Run(func(p *machine.Proc) {
+		l := newGaussLocalOwner(p, a, b, ownerOf)
+		right := p.Grid().NeighbourPlus(p.Rank(), 0)
+		left := p.Grid().NeighbourMinus(p.Rank(), 0)
+
+		for k := 0; k < m; k++ {
+			// 1. Distributed pivot search over rows >= k.
+			best := []machine.Word{-1, machine.Word(m)}
+			for pos, i := range l.rows {
+				if i < k {
+					continue
+				}
+				if v := math.Abs(l.a[pos][k]); v > float64(best[0]) {
+					best[0], best[1] = v, machine.Word(i)
+				}
+			}
+			p.Compute(len(l.rows)) // comparison work
+			global := p.AllReduce([]int{0}, best, maxAbsPairOp)
+			piv := int(global[1])
+
+			// 2. Row exchange between owner(k) and owner(piv).
+			if piv != k {
+				ok, op := ownerOf(k), ownerOf(piv)
+				switch {
+				case ok == op && p.Rank() == ok:
+					pk, pp := l.rowPos[k], l.rowPos[piv]
+					l.a[pk], l.a[pp] = l.a[pp], l.a[pk]
+					l.l[pk], l.l[pp] = l.l[pp], l.l[pk]
+					l.b[pk], l.b[pp] = l.b[pp], l.b[pk]
+				case p.Rank() == ok:
+					pk := l.rowPos[k]
+					p.Send(op, append(append(append([]machine.Word{}, l.a[pk]...), l.l[pk]...), l.b[pk]))
+					in := p.Recv(op)
+					copy(l.a[pk], in[:l.m])
+					copy(l.l[pk], in[l.m:2*l.m])
+					l.b[pk] = in[2*l.m]
+				case p.Rank() == op:
+					pp := l.rowPos[piv]
+					p.Send(ok, append(append(append([]machine.Word{}, l.a[pp]...), l.l[pp]...), l.b[pp]))
+					in := p.Recv(ok)
+					copy(l.a[pp], in[:l.m])
+					copy(l.l[pp], in[l.m:2*l.m])
+					l.b[pp] = in[2*l.m]
+				}
+			}
+
+			// 3. Pipeline the pivot row and eliminate (Fig 8).
+			owner := ownerOf(k)
+			var pivA []machine.Word
+			var pivB machine.Word
+			if p.Rank() == owner {
+				payload := l.pivotPayload(k)
+				if n > 1 {
+					p.Send(right, payload)
+				}
+				pivA, pivB = payload[:len(payload)-1], payload[len(payload)-1]
+			} else {
+				payload := p.Recv(left)
+				if right != owner {
+					p.Send(right, payload)
+				}
+				pivA, pivB = payload[:len(payload)-1], payload[len(payload)-1]
+			}
+			l.eliminate(p, k, pivA, pivB)
+		}
+
+		// Back substitution, unchanged.
+		for j := m - 1; j >= 0; j-- {
+			owner := ownerOf(j)
+			var xj float64
+			if p.Rank() == owner {
+				pos := l.rowPos[j]
+				xj = (l.b[pos] - l.v[pos]) / l.a[pos][j]
+				p.Compute(2)
+				l.x[pos] = xj
+				if n > 1 {
+					p.SendValue(left, xj)
+				}
+			} else {
+				xj = p.RecvValue(right)
+				if left != owner {
+					p.SendValue(left, xj)
+				}
+			}
+			l.backUpdate(p, j, xj)
+		}
+		for pos, i := range l.rows {
+			w.put(i, l.x[pos])
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{X: w.out, Stats: st}, nil
+}

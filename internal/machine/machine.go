@@ -1,0 +1,475 @@
+// Package machine provides the simulated tightly-coupled distributed
+// memory machine the compiled programs of the paper run on.
+//
+// The abstract target (Section 2 of Lee & Tsai) is a q-D grid of
+// N1 x ... x Nq processors executing an SPMD program and exchanging
+// messages. Here every processor is a goroutine; every ordered processor
+// pair has a FIFO message channel, which gives the same blocking
+// point-to-point semantics as the send/receive primitives in the paper's
+// generated code (Figs 6 and 8).
+//
+// On top of point-to-point Send/Recv, the package implements the eight
+// collective communication primitives of Section 2.2 (Transfer, Shift,
+// OneToManyMulticast, Reduction, AffineTransform, Scatter, Gather,
+// ManyToManyMulticast) with the hypercube algorithms whose costs appear
+// in Table 1 (binomial trees for multicast/reduction, direct sends for
+// scatter/gather, a ring pass for many-to-many).
+//
+// Every processor carries a simulated clock. Computation advances the
+// local clock by flops*Tf; a message sent at local time t arrives at
+// t + Alpha + words*Tc and the receiver's clock advances to at least the
+// arrival time. This reproduces the paper's execution-time model and, when
+// Overlap is true, models hardware that overlaps communication with
+// computation (the sender only pays the startup cost and keeps computing
+// while the message is in flight, cf. the end of Section 5).
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"dmcc/internal/grid"
+)
+
+// Word is the unit of data transferred between processors. The paper
+// counts message sizes in words; we use float64 since all kernels are
+// numerical.
+type Word = float64
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	// Tf is the simulated time of one floating point operation.
+	Tf float64
+	// Tc is the simulated time to transfer one word.
+	Tc float64
+	// Alpha is the per-message startup time (the paper's model omits it;
+	// it defaults to 0 and exists so sensitivity studies can include it).
+	Alpha float64
+	// Overlap, when true, lets a sender continue computing while its
+	// message is in flight (it pays only Alpha locally). When false the
+	// sender is busy for the whole transfer, as in a blocking send.
+	Overlap bool
+	// ChanCap is the buffer capacity of each point-to-point channel.
+	// It must be at least 1 so that the ring pipelines of Sections 5-6
+	// (all processors send right before receiving from the left) cannot
+	// deadlock. Defaults to 64.
+	ChanCap int
+	// Tracer, when non-nil, receives an Event for every computation,
+	// message, wait and collective with simulated start/end times. It
+	// must be safe for concurrent use; package trace provides one.
+	Tracer Tracer
+	// SyncCollectives selects the paper's execution model for the
+	// collective primitives of Section 2.2: every participant is engaged
+	// for the full Table 1 duration (all clocks advance together to
+	// max(entry) + cost). This is how 1993 message-passing runtimes
+	// executed collectives and is what makes replacing a multicast by
+	// pipelined Shifts profitable (Sections 5-6). When false, collectives
+	// run as asynchronous binomial-tree message exchanges — the ablation
+	// showing that on a fully asynchronous machine the gap narrows.
+	SyncCollectives bool
+}
+
+// DefaultConfig returns the configuration used throughout the experiments:
+// unit flop time, unit word-transfer time, no startup, no overlap,
+// synchronous collectives (the paper's Table 1 model).
+func DefaultConfig() Config {
+	return Config{Tf: 1, Tc: 1, Alpha: 0, Overlap: false, ChanCap: 64, SyncCollectives: true}
+}
+
+// AsyncConfig is DefaultConfig with asynchronous collectives, used by the
+// ablation benchmarks.
+func AsyncConfig() Config {
+	c := DefaultConfig()
+	c.SyncCollectives = false
+	return c
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EvCompute is local floating point work.
+	EvCompute EventKind = iota
+	// EvSend is the sender-side cost of a message.
+	EvSend
+	// EvWait is idle time spent blocked for a message, collective
+	// partner, or barrier.
+	EvWait
+	// EvCollective is time inside a synchronous collective.
+	EvCollective
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCompute:
+		return "compute"
+	case EvSend:
+		return "send"
+	case EvWait:
+		return "wait"
+	case EvCollective:
+		return "collective"
+	}
+	return "event"
+}
+
+// Event is one traced activity of one processor.
+type Event struct {
+	Proc       int
+	Kind       EventKind
+	Start, End float64
+	// Peer is the other processor for sends (-1 otherwise).
+	Peer int
+	// Words is the message size for sends.
+	Words int
+}
+
+// Tracer receives events as they happen, from multiple goroutines.
+type Tracer interface {
+	Record(Event)
+}
+
+type message struct {
+	data    []Word
+	arrival float64 // simulated arrival time at the receiver
+}
+
+// Machine is a simulated q-D grid of processors.
+type Machine struct {
+	grid *grid.Grid
+	cfg  Config
+	// links[src*P+dst] is the FIFO channel from src to dst.
+	links []chan message
+	bar   *barrier
+	// dead is closed when any processor panics, so peers blocked on
+	// channel operations fail fast instead of deadlocking.
+	dead      chan struct{}
+	abortOnce sync.Once
+}
+
+// New creates a machine over the given processor grid.
+func New(g *grid.Grid, cfg Config) *Machine {
+	if cfg.ChanCap < 1 {
+		cfg.ChanCap = 64
+	}
+	p := g.Size()
+	m := &Machine{grid: g, cfg: cfg, links: make([]chan message, p*p), bar: newBarrier(p), dead: make(chan struct{})}
+	for i := range m.links {
+		m.links[i] = make(chan message, cfg.ChanCap)
+	}
+	return m
+}
+
+// Grid returns the processor grid of the machine.
+func (m *Machine) Grid() *grid.Grid { return m.grid }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Proc is the per-processor execution context handed to the SPMD body.
+// A Proc must only be used from the goroutine running that processor.
+type Proc struct {
+	rank  int
+	m     *Machine
+	clock float64
+	// counters
+	flops    int64
+	messages int64
+	words    int64
+}
+
+// Rank returns the linear rank of the processor ("who_am_i" in Fig 6).
+func (p *Proc) Rank() int { return p.rank }
+
+// Coord returns the processor's coordinate in grid dimension d.
+func (p *Proc) Coord(d int) int { return p.m.grid.Coord(p.rank, d) }
+
+// Grid returns the machine's processor grid.
+func (p *Proc) Grid() *grid.Grid { return p.m.grid }
+
+// NumProcs returns the total number of processors.
+func (p *Proc) NumProcs() int { return p.m.grid.Size() }
+
+// Clock returns the processor's current simulated time.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Compute advances the simulated clock by flops * Tf and counts the flops.
+// It panics on negative flop counts (a sign of a broken cost annotation).
+func (p *Proc) Compute(flops int) {
+	if flops < 0 {
+		panic(fmt.Sprintf("machine: negative flop count %d on processor %d", flops, p.rank))
+	}
+	p.flops += int64(flops)
+	before := p.clock
+	p.clock += float64(flops) * p.m.cfg.Tf
+	if tr := p.m.cfg.Tracer; tr != nil && p.clock > before {
+		tr.Record(Event{Proc: p.rank, Kind: EvCompute, Start: before, End: p.clock, Peer: -1})
+	}
+}
+
+// Send transmits a copy of data to the processor with the given rank.
+// Sending to oneself is allowed (the copy goes through the local channel
+// with zero cost), which simplifies collective algorithms.
+func (p *Proc) Send(dst int, data []Word) {
+	if dst < 0 || dst >= p.m.grid.Size() {
+		panic(fmt.Sprintf("machine: Send to invalid rank %d", dst))
+	}
+	buf := append([]Word(nil), data...)
+	var arrival float64
+	if dst == p.rank {
+		arrival = p.clock
+	} else {
+		cfg := &p.m.cfg
+		before := p.clock
+		transfer := cfg.Tc * float64(len(data))
+		if cfg.Overlap {
+			p.clock += cfg.Alpha
+			arrival = p.clock + transfer
+		} else {
+			p.clock += cfg.Alpha + transfer
+			arrival = p.clock
+		}
+		p.messages++
+		p.words += int64(len(data))
+		if tr := cfg.Tracer; tr != nil && p.clock > before {
+			tr.Record(Event{Proc: p.rank, Kind: EvSend, Start: before, End: p.clock, Peer: dst, Words: len(data)})
+		}
+	}
+	select {
+	case p.m.links[p.rank*p.m.grid.Size()+dst] <- message{data: buf, arrival: arrival}:
+	case <-p.m.dead:
+		panic(deadErr)
+	}
+}
+
+// Recv receives the next message from the processor with rank src,
+// blocking until it is available. The receiver's simulated clock advances
+// to at least the message arrival time.
+func (p *Proc) Recv(src int) []Word {
+	if src < 0 || src >= p.m.grid.Size() {
+		panic(fmt.Sprintf("machine: Recv from invalid rank %d", src))
+	}
+	select {
+	case msg := <-p.m.links[src*p.m.grid.Size()+p.rank]:
+		if msg.arrival > p.clock {
+			if tr := p.m.cfg.Tracer; tr != nil {
+				tr.Record(Event{Proc: p.rank, Kind: EvWait, Start: p.clock, End: msg.arrival, Peer: src})
+			}
+			p.clock = msg.arrival
+		}
+		return msg.data
+	case <-p.m.dead:
+		panic(deadErr)
+	}
+}
+
+// rawSend transmits without advancing the simulated clock. Synchronous
+// collectives use it: their time comes from the Table 1 formula, not from
+// per-hop accounting. count selects whether the message enters the
+// message/word statistics (true for payload, false for the internal
+// clock-synchronization exchange, which on a real machine is implicit in
+// the collective's own messages).
+func (p *Proc) rawSend(dst int, data []Word, count bool) {
+	buf := append([]Word(nil), data...)
+	if dst != p.rank && count {
+		p.messages++
+		p.words += int64(len(data))
+	}
+	select {
+	case p.m.links[p.rank*p.m.grid.Size()+dst] <- message{data: buf}:
+	case <-p.m.dead:
+		panic(deadErr)
+	}
+}
+
+// rawRecv receives without advancing the simulated clock.
+func (p *Proc) rawRecv(src int) []Word {
+	select {
+	case msg := <-p.m.links[src*p.m.grid.Size()+p.rank]:
+		return msg.data
+	case <-p.m.dead:
+		panic(deadErr)
+	}
+}
+
+// deadErr is the panic value used to unwind processors after a peer
+// failure; Run filters it so only the root cause is reported.
+const deadErr = "machine: aborted after peer failure"
+
+// SendValue sends a single word.
+func (p *Proc) SendValue(dst int, v Word) { p.Send(dst, []Word{v}) }
+
+// RecvValue receives a single word, panicking if the message length is
+// not 1 (a protocol error in the SPMD program).
+func (p *Proc) RecvValue(src int) Word {
+	d := p.Recv(src)
+	if len(d) != 1 {
+		panic(fmt.Sprintf("machine: RecvValue got message of %d words", len(d)))
+	}
+	return d[0]
+}
+
+// Barrier synchronizes all processors of the machine and equalizes their
+// simulated clocks to the maximum (everyone waits for the slowest).
+func (p *Proc) Barrier() {
+	before := p.clock
+	p.clock = p.m.bar.wait(p.clock)
+	if tr := p.m.cfg.Tracer; tr != nil && p.clock > before {
+		tr.Record(Event{Proc: p.rank, Kind: EvWait, Start: before, End: p.clock, Peer: -1})
+	}
+}
+
+// Stats aggregates the outcome of a Run.
+type Stats struct {
+	// ParallelTime is the simulated makespan: the maximum clock over all
+	// processors when the SPMD body finishes.
+	ParallelTime float64
+	// Flops is the total flop count over all processors.
+	Flops int64
+	// Messages is the total number of point-to-point messages
+	// (self-sends excluded).
+	Messages int64
+	// Words is the total number of words carried by those messages.
+	Words int64
+	// PerProc holds the final per-processor snapshots indexed by rank.
+	PerProc []ProcStats
+}
+
+// ProcStats is one processor's final counters.
+type ProcStats struct {
+	Clock    float64
+	Flops    int64
+	Messages int64
+	Words    int64
+}
+
+// MaxFlops returns the largest per-processor flop count — the computation
+// load of the most loaded processor, used in load-balance experiments.
+func (s Stats) MaxFlops() int64 {
+	var mx int64
+	for _, ps := range s.PerProc {
+		if ps.Flops > mx {
+			mx = ps.Flops
+		}
+	}
+	return mx
+}
+
+// Run executes the SPMD body on all processors concurrently and returns
+// aggregate statistics. If any processor panics, Run recovers the first
+// panic and returns it as an error after all goroutines have stopped; the
+// machine must not be reused after an error (channels may hold residue).
+func (m *Machine) Run(body func(p *Proc)) (Stats, error) {
+	n := m.grid.Size()
+	procs := make([]*Proc, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		procs[r] = &Proc{rank: r, m: m}
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if str, ok := rec.(string); !ok || str != deadErr {
+						errs[p.rank] = fmt.Errorf("machine: processor %d panicked: %v", p.rank, rec)
+					}
+					// Unblock peers waiting at the barrier or on channels.
+					m.bar.abort()
+					m.abort()
+				}
+			}()
+			body(p)
+		}(procs[r])
+	}
+	wg.Wait()
+	var st Stats
+	st.PerProc = make([]ProcStats, n)
+	for r, p := range procs {
+		st.PerProc[r] = ProcStats{Clock: p.clock, Flops: p.flops, Messages: p.messages, Words: p.words}
+		if p.clock > st.ParallelTime {
+			st.ParallelTime = p.clock
+		}
+		st.Flops += p.flops
+		st.Messages += p.messages
+		st.Words += p.words
+	}
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	if m.bar.aborted() {
+		return st, fmt.Errorf("machine: run aborted")
+	}
+	return st, nil
+}
+
+// abort closes the dead channel exactly once.
+func (m *Machine) abort() {
+	m.abortOnce.Do(func() { close(m.dead) })
+}
+
+// barrier is a reusable clock-synchronizing barrier. Per-generation clock
+// maxima live in a small map: a processor returning from generation g has
+// necessarily read max[g], and no processor can reach generation g+2
+// before every processor has returned from g, so entries two generations
+// back are dead and are trimmed on return.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+	max   map[int]float64
+	dead  bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n, max: make(map[int]float64)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n processors have called it, then releases them
+// all with the maximum clock seen in this generation.
+func (b *barrier) wait(clock float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead {
+		panic("machine: barrier used after abort")
+	}
+	gen := b.gen
+	if clock > b.max[gen] {
+		b.max[gen] = clock
+	}
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for b.gen == gen && !b.dead {
+			b.cond.Wait()
+		}
+		if b.dead {
+			panic("machine: barrier aborted while waiting")
+		}
+	}
+	v := b.max[gen]
+	delete(b.max, gen-2)
+	return v
+}
+
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.dead = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *barrier) aborted() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dead
+}

@@ -1,0 +1,245 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	a := NewDense(2, 3)
+	a.Set(1, 2, 5)
+	if a.At(1, 2) != 5 || a.At(0, 0) != 0 {
+		t.Fatal("At/Set wrong")
+	}
+	r := a.Row(1)
+	if len(r) != 3 || r[2] != 5 {
+		t.Fatal("Row wrong")
+	}
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 0 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(0, 3)
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	y := a.MulVec([]float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(3, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, float64(i*3+j+1))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			b.Set(i, j, float64(i*2+j+1))
+		}
+	}
+	c := a.Mul(b)
+	// [1 2 3; 4 5 6] * [1 2; 3 4; 5 6] = [22 28; 49 64]
+	want := [][]float64{{22, 28}, {49, 64}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c = %+v", c)
+			}
+		}
+	}
+}
+
+func TestMulMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 2))
+}
+
+func TestDiagonallyDominantIsDominantAndReproducible(t *testing.T) {
+	a, b, xs := DiagonallyDominant(20, 42)
+	for i := 0; i < 20; i++ {
+		sum := 0.0
+		for j := 0; j < 20; j++ {
+			if i != j {
+				sum += math.Abs(a.At(i, j))
+			}
+		}
+		if math.Abs(a.At(i, i)) <= sum {
+			t.Fatalf("row %d not dominant", i)
+		}
+	}
+	if Residual(a, xs, b) > 1e-9 {
+		t.Fatal("b != A x*")
+	}
+	a2, b2, xs2 := DiagonallyDominant(20, 42)
+	if MaxAbsDiff(a.Data, a2.Data) != 0 || MaxAbsDiff(b, b2) != 0 || MaxAbsDiff(xs, xs2) != 0 {
+		t.Fatal("not reproducible")
+	}
+	a3, _, _ := DiagonallyDominant(20, 43)
+	if MaxAbsDiff(a.Data, a3.Data) == 0 {
+		t.Fatal("different seeds give identical systems")
+	}
+}
+
+func TestJacobiConverges(t *testing.T) {
+	a, b, xs := DiagonallyDominant(24, 7)
+	x0 := make([]float64, 24)
+	x := JacobiSeq(a, b, x0, 200)
+	if d := MaxAbsDiff(x, xs); d > 1e-8 {
+		t.Fatalf("Jacobi did not converge: %v", d)
+	}
+}
+
+func TestSORConvergesFasterThanJacobi(t *testing.T) {
+	a, b, xs := DiagonallyDominant(24, 9)
+	x0 := make([]float64, 24)
+	iters := 4
+	xj := JacobiSeq(a, b, x0, iters)
+	xs1 := SORSeq(a, b, x0, 1.0, iters) // omega=1: Gauss-Seidel
+	dj := MaxAbsDiff(xj, xs)
+	ds := MaxAbsDiff(xs1, xs)
+	if ds >= dj {
+		t.Fatalf("SOR (%v) should beat Jacobi (%v) after %d iters", ds, dj, iters)
+	}
+}
+
+func TestGaussSolves(t *testing.T) {
+	a, b, xs := DiagonallyDominant(30, 11)
+	x := GaussSeq(a, b)
+	if d := MaxAbsDiff(x, xs); d > 1e-8 {
+		t.Fatalf("Gauss error %v", d)
+	}
+	// Inputs untouched.
+	a2, b2, _ := DiagonallyDominant(30, 11)
+	if MaxAbsDiff(a.Data, a2.Data) != 0 || MaxAbsDiff(b, b2) != 0 {
+		t.Fatal("GaussSeq modified inputs")
+	}
+}
+
+// Property: GaussSeq solves random diagonally dominant systems to high
+// accuracy.
+func TestGaussQuick(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		m := int(mRaw)%20 + 2
+		a, b, xs := DiagonallyDominant(m, seed)
+		x := GaussSeq(a, b)
+		return MaxAbsDiff(x, xs) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualAndDiff(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	if Residual(a, []float64{1, 2}, []float64{1, 2}) != 0 {
+		t.Fatal("residual of exact solution nonzero")
+	}
+	if MaxAbsDiff([]float64{1, 5}, []float64{2, 3}) != 2 {
+		t.Fatal("MaxAbsDiff wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	MaxAbsDiff([]float64{1}, []float64{1, 2})
+}
+
+func TestRandomHelpers(t *testing.T) {
+	m1 := RandomDense(3, 4, 5)
+	m2 := RandomDense(3, 4, 5)
+	if MaxAbsDiff(m1.Data, m2.Data) != 0 {
+		t.Fatal("RandomDense not reproducible")
+	}
+	v1 := RandomVector(6, 5)
+	v2 := RandomVector(6, 5)
+	if MaxAbsDiff(v1, v2) != 0 {
+		t.Fatal("RandomVector not reproducible")
+	}
+	for _, x := range m1.Data {
+		if x < -1 || x >= 1 {
+			t.Fatal("entry out of range")
+		}
+	}
+}
+
+func TestGaussPivotSeqSolvesAndPermutes(t *testing.T) {
+	m := 20
+	a, b, xs := DiagonallyDominant(m, 51)
+	x, perm := GaussPivotSeq(a, b)
+	if d := MaxAbsDiff(x, xs); d > 1e-8 {
+		t.Fatalf("pivoting error %v", d)
+	}
+	// perm is a permutation of 0..m-1.
+	seen := make([]bool, m)
+	for _, p := range perm {
+		if p < 0 || p >= m || seen[p] {
+			t.Fatalf("perm invalid: %v", perm)
+		}
+		seen[p] = true
+	}
+	// Inputs untouched.
+	a2, b2, _ := DiagonallyDominant(m, 51)
+	if MaxAbsDiff(a.Data, a2.Data) != 0 || MaxAbsDiff(b, b2) != 0 {
+		t.Fatal("GaussPivotSeq modified inputs")
+	}
+}
+
+func TestNearSingularLeadingStabilityGap(t *testing.T) {
+	m := 24
+	a, b, xs := NearSingularLeading(m, 1e-13, 53)
+	if math.Abs(a.At(0, 0)) != 1e-13 {
+		t.Fatal("leading pivot not tiny")
+	}
+	plain := GaussSeq(a, b)
+	piv, _ := GaussPivotSeq(a, b)
+	errPlain := MaxAbsDiff(plain, xs)
+	errPiv := MaxAbsDiff(piv, xs)
+	if errPiv > 1e-8 {
+		t.Fatalf("pivoting inaccurate: %v", errPiv)
+	}
+	if errPlain < errPiv*1e3 {
+		t.Fatalf("no stability gap: plain %v vs pivot %v", errPlain, errPiv)
+	}
+}
+
+// Property: on random well-conditioned systems GaussPivotSeq and GaussSeq
+// agree to high accuracy (pivoting changes row order, not the answer).
+func TestPivotVsPlainQuick(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		m := int(mRaw)%16 + 3
+		a, b, _ := DiagonallyDominant(m, seed)
+		x1 := GaussSeq(a, b)
+		x2, _ := GaussPivotSeq(a, b)
+		return MaxAbsDiff(x1, x2) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

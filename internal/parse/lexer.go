@@ -1,0 +1,180 @@
+// Package parse is the compiler frontend: it parses Fortran-style Do-loop
+// programs — the notation of the paper's listings — into the affine IR of
+// package ir, so the whole pipeline (alignment, Algorithm 1, dependence
+// analysis, codegen) can be driven from program text.
+//
+// The accepted language is the fragment the paper's method applies to:
+//
+//	PROGRAM jacobi
+//	PARAM m
+//	REAL A(m,m), V(m), B(m), X(m)
+//	ITERATE                          { optional outer convergence loop }
+//	DO 6 i = 1, m
+//	  V(i) = 0.0
+//	  DO 6 j = 1, m
+//	5   V(i) = V(i) + A(i,j) * X(j)
+//	6 CONTINUE
+//	DO 9 i = 1, m
+//	8 X(i) = X(i) + (B(i) - V(i)) / A(i,i)
+//	9 CONTINUE
+//	END
+//
+// Loops close at the CONTINUE carrying their label (shared labels close
+// several loops at once, as in the paper), or at an unlabeled ENDDO.
+// Subscripts and loop bounds must be affine in the loop indices and size
+// parameters; right-hand sides are arbitrary scalar expressions over
+// array references, whose reads and flop counts the parser extracts.
+package parse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokAssign
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokAssign:
+		return "'='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	}
+	return fmt.Sprintf("tokKind(%d)", int(k))
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexer splits source text into tokens. Comments run in { } braces or
+// from "!" to end of line; case is preserved for identifiers (the IR is
+// case-sensitive, matching the paper's mixed-case names).
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.emit(tokNewline, "\n")
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '{':
+			if err := l.skipBraceComment(); err != nil {
+				return nil, err
+			}
+		case c == '!':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			l.emit(tokIdent, string(l.src[start:l.pos]))
+		case unicode.IsDigit(c):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.emit(tokNumber, string(l.src[start:l.pos]))
+		default:
+			switch c {
+			case '(':
+				l.emit(tokLParen, "(")
+			case ')':
+				l.emit(tokRParen, ")")
+			case ',':
+				l.emit(tokComma, ",")
+			case '=':
+				l.emit(tokAssign, "=")
+			case '+':
+				l.emit(tokPlus, "+")
+			case '-':
+				l.emit(tokMinus, "-")
+			case '*':
+				l.emit(tokStar, "*")
+			case '/':
+				l.emit(tokSlash, "/")
+			default:
+				return nil, fmt.Errorf("parse: line %d: unexpected character %q", l.line, c)
+			}
+			l.pos++
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, line: l.line})
+}
+
+func (l *lexer) skipBraceComment() error {
+	start := l.line
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '}' {
+			l.pos++
+			return nil
+		}
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		l.pos++
+	}
+	return fmt.Errorf("parse: line %d: unterminated { comment", start)
+}
+
+// keyword matching is case-insensitive, as in Fortran.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

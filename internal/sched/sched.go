@@ -1,0 +1,207 @@
+// Package sched reproduces Fig 5 of the paper: the step-by-step wavefront
+// schedule of the pipelined SOR implementation on a processor ring.
+//
+// Each processor executes the task list of the Fig 6 program — phase 1
+// (contribute to the rows of left processors), phase 2 (seed the partial
+// sums of its own rows), phase 3 (complete its own rows and update X),
+// phase 4 (contribute to the rows of right processors) — one task per
+// step. A task that consumes the circulating partial sum V(i) can only
+// run after the left neighbour produced it in an earlier step. The
+// greedy step-synchronous simulation of those precedences yields exactly
+// the diagonal wavefront printed in Fig 5, including the (m + N)-step
+// iteration period.
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a schedule cell.
+type Kind int
+
+const (
+	// Idle: the processor had no runnable task this step.
+	Idle Kind = iota
+	// Partial: the processor computed its column-block contribution to a
+	// row's inner product (an "A(i, lo..hi)" cell of Fig 5).
+	Partial
+	// Update: the processor completed V(i) and updated X(i) (an "X(i)"
+	// cell of Fig 5; the paper notes the completion and update share one
+	// computation step).
+	Update
+)
+
+// Cell is one processor's activity in one step.
+type Cell struct {
+	Kind Kind
+	// Row is the 1-based row index i the task works on.
+	Row int
+	// Lo, Hi are the 1-based column range of a Partial cell.
+	Lo, Hi int
+	// Iter is the 0-based sweep the task belongs to.
+	Iter int
+}
+
+// String renders the cell the way Fig 5 labels it.
+func (c Cell) String() string {
+	switch c.Kind {
+	case Partial:
+		return fmt.Sprintf("A(%d,%d..%d)", c.Row, c.Lo, c.Hi)
+	case Update:
+		return fmt.Sprintf("X(%d)", c.Row)
+	}
+	return "-"
+}
+
+// Step is one row of the Fig 5 table.
+type Step struct {
+	Step  int
+	Cells []Cell
+}
+
+// task is one unit of work in a processor's program order.
+type task struct {
+	kind     Kind
+	row      int // 0-based global row
+	iter     int
+	consumes bool // needs V(row) from the left neighbour
+	produces bool // makes V(row) available to the right neighbour
+}
+
+// Schedule simulates iters sweeps of the pipelined SOR program for an
+// m x m system on an n-processor ring (m divisible by n) and returns the
+// step table plus the per-iteration period actually achieved.
+func Schedule(m, n, iters int) ([]Step, error) {
+	if n < 1 || m%n != 0 {
+		return nil, fmt.Errorf("sched: m=%d not divisible by n=%d", m, n)
+	}
+	blk := m / n
+
+	// Build each processor's task list in Fig 6 program order.
+	tasks := make([][]task, n)
+	for p := 0; p < n; p++ {
+		before := p * blk
+		for it := 0; it < iters; it++ {
+			for i := 0; i < before; i++ { // phase 1
+				tasks[p] = append(tasks[p], task{kind: Partial, row: i, iter: it, consumes: true, produces: true})
+			}
+			for i := before; i < before+blk; i++ { // phase 2 (seed)
+				tasks[p] = append(tasks[p], task{kind: Partial, row: i, iter: it, produces: true})
+			}
+			for i := before; i < before+blk; i++ { // phase 3 (complete + X)
+				tasks[p] = append(tasks[p], task{kind: Update, row: i, iter: it, consumes: true})
+			}
+			for i := before + blk; i < m; i++ { // phase 4
+				tasks[p] = append(tasks[p], task{kind: Partial, row: i, iter: it, consumes: true, produces: true})
+			}
+		}
+	}
+
+	// producedAt[p][iter*m+row] = step at which processor p made V(row)
+	// available (0 = not yet).
+	producedAt := make([][]int, n)
+	for p := range producedAt {
+		producedAt[p] = make([]int, iters*m)
+	}
+	next := make([]int, n)
+
+	var table []Step
+	for step := 1; ; step++ {
+		done := true
+		var cells []Cell
+		ran := make([]bool, n)
+		produced := make([]struct {
+			key  int
+			step int
+		}, 0, n)
+		for p := 0; p < n; p++ {
+			if next[p] >= len(tasks[p]) {
+				cells = append(cells, Cell{Kind: Idle})
+				continue
+			}
+			done = false
+			t := tasks[p][next[p]]
+			key := t.iter*m + t.row
+			if t.consumes {
+				left := (p - 1 + n) % n
+				at := producedAt[left][key]
+				if at == 0 || at >= step {
+					cells = append(cells, Cell{Kind: Idle})
+					continue
+				}
+			}
+			ran[p] = true
+			next[p]++
+			lo := p*blk + 1
+			cells = append(cells, Cell{Kind: t.kind, Row: t.row + 1, Lo: lo, Hi: lo + blk - 1, Iter: t.iter})
+			if t.produces {
+				produced = append(produced, struct {
+					key  int
+					step int
+				}{key, step})
+			}
+			_ = ran
+		}
+		if done {
+			break
+		}
+		// Commit productions after the step so same-step consumption is
+		// impossible (the value travels during the step).
+		for p := 0; p < n; p++ {
+			if cells[p].Kind != Idle {
+				t := tasks[p][next[p]-1]
+				if t.produces {
+					producedAt[p][t.iter*m+t.row] = step
+				}
+			}
+		}
+		table = append(table, Step{Step: step, Cells: cells})
+		if step > 4*(m+n)*iters+16 {
+			return nil, fmt.Errorf("sched: schedule did not terminate (deadlock in task precedences)")
+		}
+	}
+	return table, nil
+}
+
+// IterationPeriod returns the number of steps between processor 0
+// starting sweep 0 and starting sweep 1 (the paper's average iteration
+// time is (m + N) steps). It returns 0 if the table has fewer than two
+// sweeps.
+func IterationPeriod(table []Step) int {
+	first, second := 0, 0
+	for _, st := range table {
+		c := st.Cells[0]
+		if c.Kind == Idle {
+			continue
+		}
+		if c.Iter == 0 && first == 0 {
+			first = st.Step
+		}
+		if c.Iter == 1 && second == 0 {
+			second = st.Step
+		}
+	}
+	if first == 0 || second == 0 {
+		return 0
+	}
+	return second - first
+}
+
+// Render prints the table in the Fig 5 layout.
+func Render(table []Step, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s", "step")
+	for p := 0; p < n; p++ {
+		fmt.Fprintf(&b, " | %-14s", fmt.Sprintf("PROCESSOR %d", p))
+	}
+	b.WriteByte('\n')
+	for _, st := range table {
+		fmt.Fprintf(&b, "%5d", st.Step)
+		for _, c := range st.Cells {
+			fmt.Fprintf(&b, " | %-14s", c.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustSchedule(t *testing.T, m, n, iters int) []Step {
+	t.Helper()
+	table, err := Schedule(m, n, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+func cellAt(table []Step, step, proc int) Cell {
+	for _, st := range table {
+		if st.Step == step {
+			return st.Cells[proc]
+		}
+	}
+	return Cell{}
+}
+
+// TestFig5Anchors checks the cells of Fig 5 that are legible in the
+// paper: the first wavefront diagonal and the first X updates for
+// m=16, N=4.
+func TestFig5Anchors(t *testing.T) {
+	table := mustSchedule(t, 16, 4, 2)
+
+	anchors := []struct {
+		step, proc int
+		want       string
+	}{
+		{1, 0, "A(1,1..4)"},
+		{2, 0, "A(2,1..4)"},
+		{2, 1, "A(1,5..8)"},
+		{3, 0, "A(3,1..4)"},
+		{3, 1, "A(2,5..8)"},
+		{3, 2, "A(1,9..12)"},
+		{4, 0, "A(4,1..4)"},
+		{4, 3, "A(1,13..16)"},
+		{5, 0, "X(1)"},      // V(1) completed its round trip
+		{5, 1, "A(4,5..8)"}, // P1 finishing its phase-1 contributions
+		{6, 0, "X(2)"},
+		{7, 0, "X(3)"},
+		{8, 0, "X(4)"},
+	}
+	for _, a := range anchors {
+		got := cellAt(table, a.step, a.proc).String()
+		if got != a.want {
+			t.Errorf("step %d proc %d: got %s, want %s", a.step, a.proc, got, a.want)
+		}
+	}
+}
+
+// TestFig5IterationPeriod: the schedule's step period is m + m/N (each
+// processor runs m - m/N contribution tasks plus m/N seed and m/N update
+// tasks per sweep). In Fig 5's instance m = N^2 = 16, so this coincides
+// with the paper's (m + N)-step period; the *time* bound
+// (m+N)(2(m/N)tf + 2tc) holds because the seed/update step pairs share
+// one row's worth of flops, and is verified on the simulated machine in
+// package kernels.
+func TestFig5IterationPeriod(t *testing.T) {
+	for _, mn := range [][2]int{{16, 4}, {32, 4}, {64, 8}} {
+		m, n := mn[0], mn[1]
+		table := mustSchedule(t, m, n, 3)
+		period := IterationPeriod(table)
+		if period == 0 {
+			t.Fatalf("m=%d n=%d: period not found", m, n)
+		}
+		if period > m+m/n {
+			t.Errorf("m=%d n=%d: period %d exceeds m+m/N=%d", m, n, period, m+m/n)
+		}
+	}
+	// Fig 5's instance: period exactly 20 = m + N.
+	table := mustSchedule(t, 16, 4, 2)
+	if p := IterationPeriod(table); p != 20 {
+		t.Errorf("m=16 N=4 period = %d, Fig 5 shows 20", p)
+	}
+}
+
+// TestFig5NextIterationStart: in Fig 5 processor 0 begins the next
+// iteration at step 21 for m=16, N=4 (the table prints "The next
+// iteration" there): period m + N = 20 puts sweep 1's first task of
+// processor 0 at step 21.
+func TestFig5NextIterationStart(t *testing.T) {
+	table := mustSchedule(t, 16, 4, 2)
+	for _, st := range table {
+		c := st.Cells[0]
+		if c.Kind != Idle && c.Iter == 1 {
+			if st.Step != 21 {
+				t.Errorf("processor 0 starts sweep 1 at step %d, Fig 5 shows 21", st.Step)
+			}
+			return
+		}
+	}
+	t.Fatal("sweep 1 never starts on processor 0")
+}
+
+func TestEveryRowCompletedOncePerSweep(t *testing.T) {
+	m, n, iters := 16, 4, 2
+	table := mustSchedule(t, m, n, iters)
+	counts := map[[2]int]int{} // (iter, row) -> updates
+	for _, st := range table {
+		for _, c := range st.Cells {
+			if c.Kind == Update {
+				counts[[2]int{c.Iter, c.Row}]++
+			}
+		}
+	}
+	if len(counts) != m*iters {
+		t.Fatalf("updates = %d, want %d", len(counts), m*iters)
+	}
+	for k, v := range counts {
+		if v != 1 {
+			t.Fatalf("row %v updated %d times", k, v)
+		}
+	}
+}
+
+func TestEveryProcessorTouchesEveryRow(t *testing.T) {
+	m, n := 12, 3
+	table := mustSchedule(t, m, n, 1)
+	touch := map[[2]int]bool{}
+	for _, st := range table {
+		for p, c := range st.Cells {
+			if c.Kind != Idle {
+				touch[[2]int{p, c.Row}] = true
+			}
+		}
+	}
+	// Every (processor, row) pair appears exactly once: each processor
+	// contributes its column block to every row.
+	if len(touch) != m*n {
+		t.Fatalf("touched %d pairs, want %d", len(touch), m*n)
+	}
+}
+
+func TestUpdateOnlyAtOwner(t *testing.T) {
+	m, n := 16, 4
+	blk := m / n
+	table := mustSchedule(t, m, n, 1)
+	for _, st := range table {
+		for p, c := range st.Cells {
+			if c.Kind == Update && (c.Row-1)/blk != p {
+				t.Fatalf("X(%d) updated at processor %d", c.Row, p)
+			}
+		}
+	}
+}
+
+func TestPrecedencesRespected(t *testing.T) {
+	// A partial for row i at processor p (not the seeder) must appear
+	// strictly after the left neighbour's cell for the same row and sweep.
+	m, n := 16, 4
+	blk := m / n
+	table := mustSchedule(t, m, n, 2)
+	partialAt := map[[3]int]int{} // (proc, iter, row) -> step of the Partial cell
+	updateAt := map[[3]int]int{}
+	for _, st := range table {
+		for p, c := range st.Cells {
+			key := [3]int{p, c.Iter, c.Row}
+			switch c.Kind {
+			case Partial:
+				partialAt[key] = st.Step
+			case Update:
+				updateAt[key] = st.Step
+			}
+		}
+	}
+	check := func(p, it, row, step int) {
+		t.Helper()
+		left := (p - 1 + n) % n
+		prev, ok := partialAt[[3]int{left, it, row}]
+		if !ok {
+			t.Fatalf("no producer for proc %d row %d", p, row)
+		}
+		if prev >= step {
+			t.Fatalf("proc %d row %d at step %d not after left at %d", p, row, step, prev)
+		}
+	}
+	for key, step := range partialAt {
+		p, it, row := key[0], key[1], key[2]
+		if p == (row-1)/blk {
+			continue // the seed has no predecessor
+		}
+		check(p, it, row, step)
+	}
+	for key, step := range updateAt {
+		check(key[0], key[1], key[2], step)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := Schedule(10, 3, 1); err == nil {
+		t.Fatal("indivisible size accepted")
+	}
+	if _, err := Schedule(8, 0, 1); err == nil {
+		t.Fatal("zero processors accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	table := mustSchedule(t, 8, 2, 1)
+	s := Render(table, 2)
+	if !strings.Contains(s, "PROCESSOR 0") || !strings.Contains(s, "A(1,1..4)") {
+		t.Fatalf("render:\n%s", s)
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if (Cell{}).String() != "-" {
+		t.Fatal("idle cell")
+	}
+	c := Cell{Kind: Partial, Row: 3, Lo: 5, Hi: 8}
+	if c.String() != "A(3,5..8)" {
+		t.Fatalf("partial = %s", c.String())
+	}
+	u := Cell{Kind: Update, Row: 7}
+	if u.String() != "X(7)" {
+		t.Fatalf("update = %s", u.String())
+	}
+}
+
+func TestSingleProcessorSchedule(t *testing.T) {
+	table := mustSchedule(t, 8, 1, 1)
+	// One processor: seed then complete each row; 16 busy steps.
+	busy := 0
+	for _, st := range table {
+		if st.Cells[0].Kind != Idle {
+			busy++
+		}
+	}
+	if busy != 16 {
+		t.Fatalf("busy steps = %d, want 16", busy)
+	}
+}

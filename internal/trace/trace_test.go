@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dmcc/internal/kernels"
+	"dmcc/internal/machine"
+	"dmcc/internal/matrix"
+)
+
+func TestCollectorRecordsMachineRun(t *testing.T) {
+	col := New()
+	cfg := machine.DefaultConfig()
+	cfg.Tracer = col
+	m := 16
+	a, b, _ := matrix.DiagonallyDominant(m, 3)
+	x0 := make([]float64, m)
+	res, err := kernels.SORNaive(cfg, a, b, x0, 1.2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := col.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	// Events sorted per processor, times within makespan, kinds known.
+	lastStart := map[int]float64{}
+	kinds := map[machine.EventKind]bool{}
+	for _, e := range events {
+		if e.Start < lastStart[e.Proc] {
+			t.Fatalf("events not sorted for proc %d", e.Proc)
+		}
+		lastStart[e.Proc] = e.Start
+		if e.End < e.Start {
+			t.Fatalf("negative duration: %+v", e)
+		}
+		if e.End > res.Stats.ParallelTime+1e-9 {
+			t.Fatalf("event past makespan: %+v", e)
+		}
+		kinds[e.Kind] = true
+	}
+	// A naive SOR run has computation and synchronous collectives.
+	if !kinds[machine.EvCompute] || !kinds[machine.EvCollective] {
+		t.Fatalf("missing kinds: %v", kinds)
+	}
+}
+
+func TestSummaryAccounting(t *testing.T) {
+	events := []machine.Event{
+		{Proc: 0, Kind: machine.EvCompute, Start: 0, End: 10},
+		{Proc: 0, Kind: machine.EvSend, Start: 10, End: 12},
+		{Proc: 1, Kind: machine.EvWait, Start: 0, End: 8},
+		{Proc: 1, Kind: machine.EvCollective, Start: 8, End: 12},
+	}
+	s := Summarize(events, 2, 12)
+	if s.Procs[0].Compute != 10 || s.Procs[0].Send != 2 || s.Procs[0].Idle != 0 {
+		t.Fatalf("proc0: %+v", s.Procs[0])
+	}
+	if s.Procs[1].Wait != 8 || s.Procs[1].Collective != 4 {
+		t.Fatalf("proc1: %+v", s.Procs[1])
+	}
+	// Idle fraction: proc1 waits 8 of 12; total idle = 8 / 24.
+	if got := s.IdleFraction(); got < 0.33 || got > 0.34 {
+		t.Fatalf("idle fraction = %v", got)
+	}
+	if !strings.Contains(s.String(), "idle fraction") {
+		t.Fatal("summary render")
+	}
+}
+
+// TestNaiveSORIdlenessExceedsPipelined quantifies the Section 1 claim:
+// the reduction-per-step implementation leaves processors idle; the
+// pipeline removes most of that idleness.
+func TestNaiveSORIdlenessExceedsPipelined(t *testing.T) {
+	m, n := 32, 4
+	a, b, _ := matrix.DiagonallyDominant(m, 5)
+	x0 := make([]float64, m)
+
+	runWith := func(pipelined bool) Summary {
+		col := New()
+		cfg := machine.DefaultConfig()
+		cfg.Tracer = col
+		var res kernels.Result
+		var err error
+		if pipelined {
+			res, err = kernels.SORPipelined(cfg, a, b, x0, 1.2, 2, n)
+		} else {
+			res, err = kernels.SORNaive(cfg, a, b, x0, 1.2, 2, n)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Summarize(col.Events(), n, res.Stats.ParallelTime)
+	}
+
+	naive := runWith(false)
+	pip := runWith(true)
+	if naive.IdleFraction() <= pip.IdleFraction() {
+		t.Errorf("naive idleness %.3f not above pipelined %.3f",
+			naive.IdleFraction(), pip.IdleFraction())
+	}
+	t.Logf("idle fractions: naive %.1f%%, pipelined %.1f%%",
+		100*naive.IdleFraction(), 100*pip.IdleFraction())
+}
+
+func TestGanttRender(t *testing.T) {
+	events := []machine.Event{
+		{Proc: 0, Kind: machine.EvCompute, Start: 0, End: 50},
+		{Proc: 1, Kind: machine.EvWait, Start: 0, End: 25},
+		{Proc: 1, Kind: machine.EvCompute, Start: 25, End: 100},
+		{Proc: 0, Kind: machine.EvSend, Start: 50, End: 60},
+	}
+	g := Gantt(events, 2, 100, 40)
+	if !strings.Contains(g, "P0") || !strings.Contains(g, "P1") {
+		t.Fatalf("gantt:\n%s", g)
+	}
+	if !strings.Contains(g, "#") || !strings.Contains(g, ".") || !strings.Contains(g, ">") {
+		t.Fatalf("glyphs missing:\n%s", g)
+	}
+	if Gantt(nil, 2, 0, 40) != "(empty trace)\n" {
+		t.Fatal("empty trace render")
+	}
+	// Tiny width is clamped.
+	if !strings.Contains(Gantt(events, 2, 100, 1), "P0") {
+		t.Fatal("width clamp")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := Summarize(nil, 0, 0)
+	if s.IdleFraction() != 0 {
+		t.Fatal("empty idle fraction")
+	}
+}
+
+func TestEventsIgnoreOutOfRangeProcs(t *testing.T) {
+	s := Summarize([]machine.Event{{Proc: 99, Kind: machine.EvCompute, Start: 0, End: 5}}, 2, 10)
+	if s.Procs[0].Compute != 0 && s.Procs[1].Compute != 0 {
+		t.Fatal("out-of-range proc counted")
+	}
+}

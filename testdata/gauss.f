@@ -1,0 +1,20 @@
+{ Gauss elimination, the Section 6 listing. }
+PROGRAM gauss
+PARAM m
+REAL A(m,m), L(m,m), V(m), B(m), X(m)
+DO 8 k = 1, m
+  DO 8 i = k + 1, m
+4   L(i,k) = A(i,k) / A(k,k)
+5   B(i) = B(i) - L(i,k) * B(k)
+    DO 8 j = k + 1, m
+7     A(i,j) = A(i,j) - L(i,k) * A(k,j)
+8 CONTINUE
+DO 12 i = m, 1, -1
+11  V(i) = 0.0
+12 CONTINUE
+DO 17 j = m, 1, -1
+14  X(j) = (B(j) - V(j)) / A(j,j)
+  DO 17 i = j - 1, 1, -1
+16    V(i) = V(i) + A(i,j) * X(j)
+17 CONTINUE
+END

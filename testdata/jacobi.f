@@ -1,0 +1,16 @@
+{ Jacobi's iterative algorithm for linear systems A x = b,
+  exactly the Section 3 listing of Lee & Tsai (1993). }
+PROGRAM jacobi
+PARAM m
+REAL A(m,m), V(m), B(m), X(m)
+DO 10 k = 1, MAX_ITERATION
+  DO 6 i = 1, m
+3   V(i) = 0.0
+    DO 6 j = 1, m
+5     V(i) = V(i) + A(i,j) * X(j)
+6 CONTINUE
+  DO 9 i = 1, m
+8   X(i) = X(i) + (B(i) - V(i)) / A(i,i)
+9 CONTINUE
+10 CONTINUE
+END

@@ -1,0 +1,14 @@
+{ Successive over-relaxation, the Section 5 listing. }
+PROGRAM sor
+PARAM m
+REAL A(m,m), V(m), B(m), X(m)
+DO 9 k = 1, MAX_ITERATION
+  DO 8 i = 1, m
+3   V(i) = 0.0
+    DO 6 j = 1, m
+5     V(i) = V(i) + A(i,j) * X(j)
+6   CONTINUE
+7   X(i) = X(i) + OMEGA * (B(i) - V(i)) / A(i,i)
+8 CONTINUE
+9 CONTINUE
+END
