@@ -608,3 +608,58 @@ func BenchmarkNaiveBackendVsPipelined(b *testing.B) {
 		b.ReportMetric(t, "simtime")
 	})
 }
+
+// ------------------------------------------------- compile-time scaling --
+
+// BenchmarkCompileScaling measures the compile pipeline itself — the
+// cost engine behind Algorithm 1 — on synthetic nest sequences of
+// growing length s and on the paper's Gauss/Jacobi/SOR programs. Each
+// program is compiled twice: "fast" is the production configuration
+// (analytic ChangeCost, memoized cost tables, worker pool); "prechange"
+// reproduces the original engine (element-enumeration ChangeCost, no
+// caches, serial) for the before/after comparison. The prechange
+// variant skips s=16, which is impractical without the analytic path.
+func BenchmarkCompileScaling(b *testing.B) {
+	const m, n = 64, 16
+	compile := func(b *testing.B, p func() *ir.Program, prechange bool) {
+		var res *core.CompileResult
+		for i := 0; i < b.N; i++ {
+			c := core.NewCompiler(p(), cost.Unit(), map[string]int{"m": m}, n)
+			if prechange {
+				c.ExactChangeCost = true
+				c.NoCache = true
+				c.Jobs = 1
+			}
+			r, err := c.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = r
+		}
+		b.ReportMetric(res.DP.MinimumCost, "dpcost")
+		b.ReportMetric(float64(len(res.DP.Segments)), "segments")
+	}
+	for _, s := range []int{4, 8, 16} {
+		s := s
+		b.Run(fmt.Sprintf("synth/s=%d/fast", s), func(b *testing.B) {
+			compile(b, func() *ir.Program { return ir.Synthetic(s) }, false)
+		})
+		if s <= 8 {
+			b.Run(fmt.Sprintf("synth/s=%d/prechange", s), func(b *testing.B) {
+				compile(b, func() *ir.Program { return ir.Synthetic(s) }, true)
+			})
+		}
+	}
+	for _, pc := range []struct {
+		name string
+		prog func() *ir.Program
+	}{
+		{"gauss", ir.Gauss},
+		{"jacobi", ir.Jacobi},
+		{"sor", ir.SOR},
+	} {
+		pc := pc
+		b.Run(pc.name+"/fast", func(b *testing.B) { compile(b, pc.prog, false) })
+		b.Run(pc.name+"/prechange", func(b *testing.B) { compile(b, pc.prog, true) })
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dmcc -prog jacobi|sor|gauss|matmul [-m 64] [-n 8] [-greedy]
+//	dmcc -prog jacobi|sor|gauss|matmul [-m 64] [-n 8] [-greedy] [-j 4]
 //	dmcc -file testdata/jacobi.f [-m 64] [-n 8]
 //	dmcc -prog jacobi -exec      also execute the compiled program on the
 //	                             simulated machine (random system, checked
@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"dmcc/internal/parse"
 
@@ -38,6 +39,7 @@ func main() {
 	n := flag.Int("n", 8, "total processors")
 	greedy := flag.Bool("greedy", false, "use the greedy alignment heuristic instead of exact branch-and-bound")
 	doExec := flag.Bool("exec", false, "execute the compiled program on the simulated machine and verify")
+	jobs := flag.Int("j", 0, "cost-engine worker count (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	var p *ir.Program
@@ -52,12 +54,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
 			os.Exit(1)
 		}
-		if err := run(parsed, *m, *n, *greedy); err != nil {
+		if err := run(parsed, *m, *n, *greedy, *jobs); err != nil {
 			fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
 			os.Exit(1)
 		}
 		if *doExec {
-			if err := execute(parsed, *m, *n); err != nil {
+			if err := execute(parsed, *m, *n, *jobs); err != nil {
 				fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
 				os.Exit(1)
 			}
@@ -77,12 +79,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmcc: unknown program %q\n", *prog)
 		os.Exit(2)
 	}
-	if err := run(p, *m, *n, *greedy); err != nil {
+	if err := run(p, *m, *n, *greedy, *jobs); err != nil {
 		fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
 		os.Exit(1)
 	}
 	if *doExec {
-		if err := execute(p, *m, *n); err != nil {
+		if err := execute(p, *m, *n, *jobs); err != nil {
 			fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
 			os.Exit(1)
 		}
@@ -92,8 +94,9 @@ func main() {
 // execute runs the compiled program on the simulated machine with a
 // random input system and checks the result against the sequential IR
 // interpreter.
-func execute(p *ir.Program, m, n int) error {
+func execute(p *ir.Program, m, n, jobs int) error {
 	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
+	c.Jobs = jobs
 	_, ss, err := c.SegmentCost(1, len(p.Nests))
 	if err != nil {
 		return err
@@ -160,7 +163,7 @@ func execute(p *ir.Program, m, n int) error {
 	return nil
 }
 
-func run(p *ir.Program, m, n int, greedy bool) error {
+func run(p *ir.Program, m, n int, greedy bool, jobs int) error {
 	fmt.Printf("=== compiling %s for %d processors (m=%d) ===\n\n", p.Name, n, m)
 
 	wp := align.WeightParams{Bind: map[string]int{"m": m}, N: n, Tc: 1}
@@ -172,6 +175,7 @@ func run(p *ir.Program, m, n int, greedy bool) error {
 
 	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
 	c.UseGreedyAlign = greedy
+	c.Jobs = jobs
 	res, err := c.Compile()
 	if err != nil {
 		return err
@@ -180,8 +184,13 @@ func run(p *ir.Program, m, n int, greedy bool) error {
 	for _, seg := range res.DP.Segments {
 		fmt.Printf("  loops L%d..L%d: %s, segment cost %.0f, entry redistribution %.0f\n",
 			seg.Start, seg.Start+seg.Len-1, seg.Schemes, seg.M, seg.ChangeIn)
-		for name, sch := range seg.Schemes.Schemes {
-			fmt.Printf("    %-4s %s\n", name, sch)
+		names := make([]string, 0, len(seg.Schemes.Schemes))
+		for name := range seg.Schemes.Schemes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("    %-4s %s\n", name, seg.Schemes.Schemes[name])
 		}
 	}
 	fmt.Printf("  loop-carried cost %.0f; total %.0f (whole-program baseline %.0f)\n\n",

@@ -10,6 +10,10 @@
 //	dmsweep -sweep jacobi  -m 64,128    -n 16
 //	dmsweep -sweep stencil -m 64,256    -n 16
 //	dmsweep -sweep chunks  -m 64        -n 4   (SOR chunk-size x alpha)
+//	dmsweep -sweep compile -m 64 -n 16 -s 4,8,16 -j 4
+//	                                           (compile-time scaling of
+//	                                            Algorithm 1 over synthetic
+//	                                            nest sequences of length s)
 package main
 
 import (
@@ -18,16 +22,22 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"dmcc/internal/core"
+	"dmcc/internal/cost"
+	"dmcc/internal/ir"
 	"dmcc/internal/kernels"
 	"dmcc/internal/machine"
 	"dmcc/internal/matrix"
 )
 
 func main() {
-	sweep := flag.String("sweep", "sor", "sor, gauss, jacobi, stencil, chunks")
+	sweep := flag.String("sweep", "sor", "sor, gauss, jacobi, stencil, chunks, compile")
 	ms := flag.String("m", "32,64,128", "comma-separated problem sizes")
 	ns := flag.String("n", "4,8", "comma-separated processor counts")
+	ss := flag.String("s", "4,8,16", "comma-separated nest-sequence lengths (compile sweep)")
+	jobs := flag.Int("j", 0, "cost-engine worker count (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	mList, err := parseInts(*ms)
@@ -38,9 +48,50 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	sList, err := parseInts(*ss)
+	if err != nil {
+		fail(err)
+	}
+	if *sweep == "compile" {
+		if err := runCompileSweep(mList, nList, sList, *jobs); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if err := run(*sweep, mList, nList); err != nil {
 		fail(err)
 	}
+}
+
+// runCompileSweep measures the compile pipeline itself: wall-clock time
+// of Compile() on synthetic nest sequences of growing length, for the
+// analytic+memoized engine and the exact-enumeration ablation.
+func runCompileSweep(mList, nList, sList []int, jobs int) error {
+	fmt.Println("engine,s,m,n,compile_ns,segments,mincost")
+	for _, s := range sList {
+		for _, m := range mList {
+			for _, n := range nList {
+				for _, engine := range []string{"analytic", "exact"} {
+					p := ir.Synthetic(s)
+					c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
+					c.Jobs = jobs
+					if engine == "exact" {
+						c.ExactChangeCost = true
+						c.NoCache = true
+					}
+					start := time.Now()
+					res, err := c.Compile()
+					if err != nil {
+						return err
+					}
+					fmt.Printf("%s,%d,%d,%d,%d,%d,%.0f\n",
+						engine, s, m, n, time.Since(start).Nanoseconds(),
+						len(res.DP.Segments), res.DP.MinimumCost)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 func fail(err error) {

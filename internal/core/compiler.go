@@ -1,15 +1,33 @@
 // The compile driver: wires component alignment, exact cost counting, the
 // dynamic programming algorithm, and the dependence-driven pipelining
 // decision into the pipeline of the paper.
+//
+// The cost engine behind Algorithm 1 is built for speed:
+//
+//   - ChangeCost is computed analytically (dist.RedistLoads) from
+//     per-dimension interval intersections instead of enumerating array
+//     elements; the element-wise oracle remains available behind
+//     ExactChangeCost for ablation and property testing.
+//   - SegmentCost, ChangeCost and LoopCarriedCost results are memoized
+//     (segment costs by (i,j), redistribution costs by canonical
+//     SchemeSet signature pairs), collapsing the DP's O(s³) cost-engine
+//     invocations to O(distinct inputs).
+//   - Candidate grid shapes inside a segment and the DP's M[i][j] table
+//     are evaluated on a NumCPU-bounded worker pool. Parallel runs only
+//     warm the memoization caches; the DP itself then runs serially over
+//     cached values, so results are bit-identical to Jobs=1.
 package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"dmcc/internal/align"
 	"dmcc/internal/cost"
 	"dmcc/internal/dep"
+	"dmcc/internal/dist"
 	"dmcc/internal/ir"
 )
 
@@ -25,12 +43,77 @@ type Compiler struct {
 	Weights align.WeightParams
 	// UseGreedyAlign switches the alignment heuristic (ablation).
 	UseGreedyAlign bool
+	// Jobs bounds the cost-engine worker pool; 0 means runtime.NumCPU(),
+	// 1 forces the serial path.
+	Jobs int
+	// ExactChangeCost prices redistribution with the element-enumeration
+	// oracle instead of the analytic calculator (ablation/reference).
+	ExactChangeCost bool
+	// NoCache disables cost memoization (ablation).
+	NoCache bool
+
+	mu       sync.Mutex
+	poolOnce sync.Once
+	sem      chan struct{}
+	segCache map[[2]int]*segEntry
+	chgCache map[string]*costEntry
+	lcCache  map[string]*costEntry
+}
+
+type segEntry struct {
+	once sync.Once
+	cost float64
+	ss   *SchemeSet
+	err  error
+}
+
+type costEntry struct {
+	once sync.Once
+	cost float64
+	err  error
 }
 
 // NewCompiler returns a compiler with the standard configuration.
 func NewCompiler(p *ir.Program, model cost.Model, bind map[string]int, nprocs int) *Compiler {
 	wp := align.WeightParams{Bind: bind, N: nprocs, Tc: model.Tc}
 	return &Compiler{Program: p, Model: model, Bind: bind, NProcs: nprocs, Weights: wp}
+}
+
+// jobs is the effective worker budget.
+func (c *Compiler) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return runtime.NumCPU()
+}
+
+// fanOut runs fn(k) for k in [0, n) using at most jobs() concurrent
+// workers drawn from a shared pool; calls run inline when the pool is
+// saturated (so nested fan-outs never deadlock). fn must be safe to run
+// concurrently with other indices.
+func (c *Compiler) fanOut(n int, fn func(k int)) {
+	if n <= 1 || c.jobs() == 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	c.poolOnce.Do(func() { c.sem = make(chan struct{}, c.jobs()) })
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		select {
+		case c.sem <- struct{}{}:
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				defer func() { <-c.sem }()
+				fn(k)
+			}(k)
+		default:
+			fn(k)
+		}
+	}
+	wg.Wait()
 }
 
 // writtenAtOrAfter reports the arrays written by nests with (0-based)
@@ -72,8 +155,27 @@ func (c *Compiler) alignNests(nests []*ir.Nest) (align.Partition, error) {
 // cost of nests L_i..L_{i+j-1} under a single scheme set derived from the
 // subsequence's own component alignment, minimized over the candidate
 // grid shapes of Section 3. Loop-carried reads are excluded here and
-// priced by LoopCarriedCost.
+// priced by LoopCarriedCost. Results are memoized by (i,j).
 func (c *Compiler) SegmentCost(i, j int) (float64, *SchemeSet, error) {
+	if c.NoCache {
+		return c.segmentCost(i, j)
+	}
+	key := [2]int{i, j}
+	c.mu.Lock()
+	if c.segCache == nil {
+		c.segCache = map[[2]int]*segEntry{}
+	}
+	e, ok := c.segCache[key]
+	if !ok {
+		e = &segEntry{}
+		c.segCache[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.cost, e.ss, e.err = c.segmentCost(i, j) })
+	return e.cost, e.ss, e.err
+}
+
+func (c *Compiler) segmentCost(i, j int) (float64, *SchemeSet, error) {
 	if i < 1 || j < 1 || i+j-1 > len(c.Program.Nests) {
 		return 0, nil, fmt.Errorf("core: segment (%d,%d) out of range", i, j)
 	}
@@ -88,12 +190,15 @@ func (c *Compiler) SegmentCost(i, j int) (float64, *SchemeSet, error) {
 			cyclic = true
 		}
 	}
-	var best *SchemeSet
-	bestCost := 0.0
-	for _, shape := range GridShapes(c.NProcs) {
-		ss, err := DeriveSchemes(c.Program, pt, shape, c.Bind, cyclic)
+	shapes := GridShapes(c.NProcs)
+	sets := make([]*SchemeSet, len(shapes))
+	costs := make([]float64, len(shapes))
+	errs := make([]error, len(shapes))
+	c.fanOut(len(shapes), func(k int) {
+		ss, err := DeriveSchemes(c.Program, pt, shapes[k], c.Bind, cyclic)
 		if err != nil {
-			return 0, nil, err
+			errs[k] = err
+			return
 		}
 		total := 0.0
 		for t, nest := range nests {
@@ -102,32 +207,65 @@ func (c *Compiler) SegmentCost(i, j int) (float64, *SchemeSet, error) {
 				IncludeRead: func(a string) bool { return !c.isLoopCarriedRead(globalT, a) },
 			})
 			if err != nil {
-				return 0, nil, err
+				errs[k] = err
+				return
 			}
 			total += ct.Time(c.Model).Total()
 		}
-		if best == nil || total < bestCost {
-			best, bestCost = ss, total
+		sets[k], costs[k] = ss, total
+	})
+	// Serial reduce in shape order with a strict < keeps the winning
+	// shape identical to the historical serial loop on ties.
+	var best *SchemeSet
+	bestCost := 0.0
+	for k := range shapes {
+		if errs[k] != nil {
+			return 0, nil, errs[k]
+		}
+		if best == nil || costs[k] < bestCost {
+			best, bestCost = sets[k], costs[k]
 		}
 	}
 	return bestCost, best, nil
 }
 
-// ChangeCost prices redistributing every array from one scheme set to the
-// next: for each element a destination owner lacks, one word moves from a
-// current owner; the time estimate is the most-loaded processor's traffic,
-// like Counts.Time.
+// ChangeCost prices redistributing every array from one scheme set to
+// the next: for each element a destination owner lacks, one word is
+// received, and the matching send is split evenly across the element's
+// current owners (a replicated array's copies share the send load
+// instead of overloading one canonical replica — the cheapest static
+// split, and the one the analytic calculator models; see
+// dist.RedistLoads). The time estimate is the most-loaded processor's
+// traffic, like Counts.Time. Results are memoized by signature pair.
 func (c *Compiler) ChangeCost(from, to *SchemeSet) (float64, error) {
 	if from == nil || to == nil {
 		return 0, fmt.Errorf("core: ChangeCost on nil scheme set")
 	}
-	in := map[int]int64{}
-	out := map[int]int64{}
+	if c.NoCache {
+		return c.changeCost(from, to)
+	}
+	key := from.Signature() + "=>" + to.Signature()
+	c.mu.Lock()
+	if c.chgCache == nil {
+		c.chgCache = map[string]*costEntry{}
+	}
+	e, ok := c.chgCache[key]
+	if !ok {
+		e = &costEntry{}
+		c.chgCache[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.cost, e.err = c.changeCost(from, to) })
+	return e.cost, e.err
+}
+
+func (c *Compiler) changeCost(from, to *SchemeSet) (float64, error) {
 	names := make([]string, 0, len(c.Program.Arrays))
 	for n := range c.Program.Arrays {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	loads := dist.NewLoads()
 	for _, name := range names {
 		sFrom, ok1 := from.Schemes[name]
 		sTo, ok2 := to.Schemes[name]
@@ -138,42 +276,46 @@ func (c *Compiler) ChangeCost(from, to *SchemeSet) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		forEachIndex(shape, func(idx []int) {
-			fromOwners := sFrom.Owners(from.Grid, idx...)
-			has := map[int]bool{}
-			for _, r := range fromOwners {
-				has[r] = true
-			}
-			for _, d := range sTo.Owners(to.Grid, idx...) {
-				if !has[d] {
-					in[d]++
-					out[fromOwners[0]]++
-				}
-			}
-		})
-	}
-	var mx int64
-	for _, w := range in {
-		if w > mx {
-			mx = w
+		if c.ExactChangeCost {
+			loads.Add(dist.RedistLoadsExact(from.Grid, to.Grid, shape, sFrom, sTo))
+			continue
 		}
-	}
-	for _, w := range out {
-		if w > mx {
-			mx = w
+		l, err := dist.RedistLoads(from.Grid, to.Grid, shape, sFrom, sTo)
+		if err != nil {
+			return 0, err
 		}
+		loads.Add(l)
 	}
-	return float64(mx) * c.Model.Tc, nil
+	return loads.MaxLoad() * c.Model.Tc, nil
 }
 
 // LoopCarriedCost prices the loop-carried reads (the CTime2 term of
 // Fig 3) under the final segment's schemes: the words needed to bring
 // each updated array from its owners to the processors that read it at
-// the top of the next iteration.
+// the top of the next iteration. Results are memoized by signature.
 func (c *Compiler) LoopCarriedCost(final *SchemeSet) (float64, error) {
 	if !c.Program.Iterative {
 		return 0, nil
 	}
+	if c.NoCache {
+		return c.loopCarriedCost(final)
+	}
+	key := final.Signature()
+	c.mu.Lock()
+	if c.lcCache == nil {
+		c.lcCache = map[string]*costEntry{}
+	}
+	e, ok := c.lcCache[key]
+	if !ok {
+		e = &costEntry{}
+		c.lcCache[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.cost, e.err = c.loopCarriedCost(final) })
+	return e.cost, e.err
+}
+
+func (c *Compiler) loopCarriedCost(final *SchemeSet) (float64, error) {
 	total := 0.0
 	for t, nest := range c.Program.Nests {
 		ct, err := cost.CountNestOpts(c.Program, nest, final.Schemes, final.Grid, c.Bind, cost.CountOptions{
@@ -189,27 +331,57 @@ func (c *Compiler) LoopCarriedCost(final *SchemeSet) (float64, error) {
 	return total, nil
 }
 
-// forEachIndex enumerates 1-based multi-indices in row-major order
-// (duplicated from dist to avoid exporting an iteration helper).
-func forEachIndex(shape []int, f func(idx []int)) {
-	idx := make([]int, len(shape))
-	for i := range idx {
-		idx[i] = 1
+// precompute fills the cost caches on the worker pool: every segment
+// cost M[i][j], then every redistribution cost between the distinct
+// scheme sets those segments produced (plus the loop-carried cost of
+// each candidate final scheme). The subsequent serial DP is then pure
+// cache lookups, which is what keeps parallel output bit-identical to
+// the serial path.
+func (c *Compiler) precompute(s int) {
+	if c.NoCache || c.jobs() == 1 {
+		return
 	}
-	for {
-		f(idx)
-		k := len(idx) - 1
-		for k >= 0 {
-			idx[k]++
-			if idx[k] <= shape[k] {
-				break
+	type ij struct{ i, j int }
+	var keys []ij
+	for j := 1; j <= s; j++ {
+		for i := 1; i+j-1 <= s; i++ {
+			keys = append(keys, ij{i, j})
+		}
+	}
+	c.fanOut(len(keys), func(k int) {
+		c.SegmentCost(keys[k].i, keys[k].j) //nolint:errcheck — errors resurface from the cache in RunDP
+	})
+	// Distinct scheme sets, in a deterministic order.
+	bySig := map[string]*SchemeSet{}
+	var sigs []string
+	for _, key := range keys {
+		_, ss, err := c.SegmentCost(key.i, key.j)
+		if err != nil || ss == nil {
+			continue
+		}
+		sig := ss.Signature()
+		if _, ok := bySig[sig]; !ok {
+			bySig[sig] = ss
+			sigs = append(sigs, sig)
+		}
+	}
+	sort.Strings(sigs)
+	type pair struct{ from, to *SchemeSet }
+	var pairs []pair
+	for _, a := range sigs {
+		for _, b := range sigs {
+			if a != b {
+				pairs = append(pairs, pair{bySig[a], bySig[b]})
 			}
-			idx[k] = 1
-			k--
 		}
-		if k < 0 {
-			return
-		}
+	}
+	c.fanOut(len(pairs), func(k int) {
+		c.ChangeCost(pairs[k].from, pairs[k].to) //nolint:errcheck — cache warm-up only
+	})
+	if c.Program.Iterative {
+		c.fanOut(len(sigs), func(k int) {
+			c.LoopCarriedCost(bySig[sigs[k]]) //nolint:errcheck — cache warm-up only
+		})
 	}
 }
 
@@ -225,12 +397,15 @@ type CompileResult struct {
 }
 
 // Compile runs the full pipeline: per-segment alignment + Algorithm 1 +
-// pipelining analysis.
+// pipelining analysis. With Jobs != 1 the cost tables are precomputed in
+// parallel first; the DP itself always runs serially over the caches, so
+// the result does not depend on Jobs.
 func (c *Compiler) Compile() (*CompileResult, error) {
 	if err := c.Program.Validate(); err != nil {
 		return nil, err
 	}
 	s := len(c.Program.Nests)
+	c.precompute(s)
 	res, err := RunDP(s, c, c.Program.Iterative)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dmcc/internal/cost"
+	"dmcc/internal/ir"
+)
+
+// renderResult serializes everything observable about a compile result —
+// the T table, every segment's costs and scheme signatures, and the
+// pipelining decisions — so two results can be compared byte for byte.
+func renderResult(res *CompileResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "min=%.6f segtotal=%.6f lc=%.6f whole=%.6f\n",
+		res.DP.MinimumCost, res.DP.SegmentTotal, res.DP.LoopCarried, res.WholeProgramCost)
+	for _, seg := range res.DP.Segments {
+		fmt.Fprintf(&b, "seg %d+%d m=%.6f chg=%.6f label=%s sig=%s\n",
+			seg.Start, seg.Len, seg.M, seg.ChangeIn, seg.Schemes.Label, seg.Schemes.Signature())
+	}
+	for i := 1; i < len(res.DP.T); i++ {
+		for j, t := range res.DP.T[i] {
+			if t != 0 {
+				fmt.Fprintf(&b, "T[%d][%d]=%.6f\n", i, j, t)
+			}
+		}
+	}
+	for _, d := range res.Pipelining {
+		fmt.Fprintf(&b, "pipe %s canPipeline=%v travelling=%d\n",
+			d.Mapping.Nest, d.CanPipeline, len(d.TravellingTokens))
+	}
+	return b.String()
+}
+
+// TestParallelCompileDeterministic: Compile() with a parallel worker
+// pool must produce byte-identical results to the serial path — the
+// parallel phase only warms the memoization caches; the DP itself runs
+// serially either way.
+func TestParallelCompileDeterministic(t *testing.T) {
+	programs := []*ir.Program{ir.Jacobi(), ir.Gauss(), ir.Synthetic(6)}
+	for _, p := range programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			render := func(jobs int) string {
+				c := NewCompiler(p, cost.Unit(), map[string]int{"m": 16}, 4)
+				c.Jobs = jobs
+				res, err := c.Compile()
+				if err != nil {
+					t.Fatalf("jobs=%d: %v", jobs, err)
+				}
+				return renderResult(res)
+			}
+			serial := render(1)
+			for _, jobs := range []int{2, 8} {
+				if got := render(jobs); got != serial {
+					t.Errorf("jobs=%d output differs from serial:\n--- serial ---\n%s--- jobs=%d ---\n%s",
+						jobs, serial, jobs, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyticEngineMatchesExact: the production engine (analytic
+// ChangeCost + caches) must price every program identically to the
+// element-enumeration reference engine end to end.
+func TestAnalyticEngineMatchesExact(t *testing.T) {
+	programs := []*ir.Program{ir.Jacobi(), ir.Gauss(), ir.Synthetic(5)}
+	for _, p := range programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			render := func(exact bool) string {
+				c := NewCompiler(p, cost.Unit(), map[string]int{"m": 12}, 4)
+				c.Jobs = 1
+				c.ExactChangeCost = exact
+				c.NoCache = exact
+				res, err := c.Compile()
+				if err != nil {
+					t.Fatalf("exact=%v: %v", exact, err)
+				}
+				return renderResult(res)
+			}
+			if fast, ref := render(false), render(true); fast != ref {
+				t.Errorf("analytic engine differs from exact reference:\n--- exact ---\n%s--- analytic ---\n%s", ref, fast)
+			}
+		})
+	}
+}
+
+// TestSchemeSetSignature checks the memoization key: stable across
+// calls, nil-safe, insensitive to labels, and sensitive to anything
+// that moves data — grid shape or a distribution parameter.
+func TestSchemeSetSignature(t *testing.T) {
+	var nilSet *SchemeSet
+	if nilSet.Signature() != "<nil>" {
+		t.Errorf("nil signature = %q", nilSet.Signature())
+	}
+	// Bare sets (as tests construct them) must not panic.
+	if (&SchemeSet{Label: "a"}).Signature() != "" {
+		t.Errorf("empty set signature = %q", (&SchemeSet{Label: "a"}).Signature())
+	}
+	p := ir.Jacobi()
+	c := NewCompiler(p, cost.Unit(), map[string]int{"m": 16}, 4)
+	derive := func(shape [2]int) *SchemeSet {
+		pt, err := c.alignNests(p.Nests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := DeriveSchemes(p, pt, shape, c.Bind, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ss
+	}
+	row := derive([2]int{4, 1})
+	row2 := derive([2]int{4, 1})
+	col := derive([2]int{1, 4})
+	if row.Signature() != row2.Signature() {
+		t.Errorf("same derivation, different signatures:\n%s\n%s", row.Signature(), row2.Signature())
+	}
+	if row.Signature() != row2.Signature() || row.Signature() == col.Signature() {
+		t.Errorf("4x1 and 1x4 share a signature: %s", row.Signature())
+	}
+	row2.Label = "renamed"
+	if row.Signature() != row2.Signature() {
+		t.Error("label change altered the signature")
+	}
+}

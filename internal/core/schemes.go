@@ -12,6 +12,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"dmcc/internal/align"
 	"dmcc/internal/dist"
@@ -38,6 +40,57 @@ func (ss *SchemeSet) String() string {
 		return "<nil>"
 	}
 	return fmt.Sprintf("%s on %s", ss.Label, ss.Grid)
+}
+
+// Signature returns a canonical, order-stable encoding of everything
+// that determines element placement: the grid shape and, per array (in
+// sorted name order), each dimension's sign, displacement, block size,
+// cyclic/replication flags and grid mapping, plus rotation coefficients
+// and fixed coordinates. Two scheme sets with equal signatures place
+// every element of every array identically, so signatures (and
+// signature pairs) are safe memoization keys for redistribution and
+// loop-carried costs. Labels and partitions are deliberately excluded.
+func (ss *SchemeSet) Signature() string {
+	if ss == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	if ss.Grid != nil {
+		b.WriteByte('g')
+		for d := 0; d < ss.Grid.Q(); d++ {
+			fmt.Fprintf(&b, "x%d", ss.Grid.Extent(d))
+		}
+	}
+	names := make([]string, 0, len(ss.Schemes))
+	for n := range ss.Schemes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := ss.Schemes[n]
+		fmt.Fprintf(&b, ";%s:", n)
+		for _, d := range s.Dims {
+			if d.Replicated {
+				fmt.Fprintf(&b, "[R g%d]", d.GridDim)
+				continue
+			}
+			fmt.Fprintf(&b, "[%+d %d %d c%t g%d]", d.Sign, d.Disp, d.Block, d.Cyclic, d.GridDim)
+		}
+		if s.Rot != dist.NoRotation {
+			fmt.Fprintf(&b, "rot%d(%d,%d)", s.Rot, s.D1, s.D2)
+		}
+		if len(s.Fixed) > 0 {
+			gds := make([]int, 0, len(s.Fixed))
+			for gd := range s.Fixed {
+				gds = append(gds, gd)
+			}
+			sort.Ints(gds)
+			for _, gd := range gds {
+				fmt.Fprintf(&b, "f%d=%d", gd, s.Fixed[gd])
+			}
+		}
+	}
+	return b.String()
 }
 
 // Triangular reports whether any loop bound of the nest depends on an

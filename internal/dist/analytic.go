@@ -1,0 +1,451 @@
+// Analytic redistribution costing: closed-form per-processor word counts
+// for converting an array from one distribution scheme to another,
+// without enumerating elements.
+//
+// The key observation (cf. Rink et al., "Memory-efficient array
+// redistribution through portable collective communication") is that the
+// index sets owned by one grid coordinate under the Section 2.1
+// distribution functions are intervals (contiguous blocks) or periodic
+// unions of intervals ((block-)cyclic), so the number of indices mapped
+// to a coordinate pair (a under the old scheme, b under the new scheme)
+// is an interval-intersection count computable in O(1) arithmetic per
+// pair — O(N_from * N_to) per array dimension in total, independent of
+// the array extent. Joint counts factorize across array dimensions
+// (rotation is a deterministic remap of the per-dimension coordinates),
+// so the full per-processor in/out traffic follows from a product over
+// the sparse per-dimension count tables.
+//
+// Sender-side load: when an element is replicated under the source
+// scheme, every copy is an equally valid sender, so each source owner is
+// charged an equal 1/|owners| share of the outgoing words — the cheapest
+// static split of the send load (the element-wise planner NewPlan keeps
+// the canonical lowest-rank sender, which is what an actual data-movement
+// plan needs, but it overloads one replica when costing).
+package dist
+
+import (
+	"fmt"
+
+	"dmcc/internal/grid"
+)
+
+// Loads holds per-processor redistribution word loads for one array (or,
+// after Add, an accumulated set of arrays). Loads are float64 because the
+// send load of a replicated source element is split evenly across its
+// owners.
+type Loads struct {
+	// In is words received per destination rank.
+	In map[int]float64
+	// Out is words sent per source rank.
+	Out map[int]float64
+	// Words is the total word count on the wire.
+	Words float64
+}
+
+// NewLoads returns an empty Loads value ready for accumulation.
+func NewLoads() Loads {
+	return Loads{In: map[int]float64{}, Out: map[int]float64{}}
+}
+
+// Add accumulates other into l (multi-array redistribution).
+func (l *Loads) Add(other Loads) {
+	for r, w := range other.In {
+		l.In[r] += w
+	}
+	for r, w := range other.Out {
+		l.Out[r] += w
+	}
+	l.Words += other.Words
+}
+
+// MaxLoad returns the largest per-processor in or out load — the
+// bottleneck traffic of the redistribution step.
+func (l Loads) MaxLoad() float64 {
+	var mx float64
+	for _, w := range l.In {
+		if w > mx {
+			mx = w
+		}
+	}
+	for _, w := range l.Out {
+		if w > mx {
+			mx = w
+		}
+	}
+	return mx
+}
+
+// coordPair is one entry of a per-dimension joint count table: cnt
+// indices of the dimension map to grid coordinate aF under the source
+// dim and aT under the destination dim (All for replicated dims).
+type coordPair struct {
+	aF, aT int
+	cnt    int64
+}
+
+// RedistLoads computes the per-processor redistribution loads from
+// scheme `from` on grid gFrom to scheme `to` on grid gTo analytically.
+// The grids may have different shapes but must have the same total
+// processor count (rank r denotes the same physical processor on both).
+// For every element a destination owner lacks, one word is received; the
+// matching send is split evenly across the element's source owners.
+// The result is exactly RedistLoadsExact's, computed without element
+// enumeration.
+func RedistLoads(gFrom, gTo *grid.Grid, shape []int, from, to Scheme) (Loads, error) {
+	if gFrom.Size() != gTo.Size() {
+		return Loads{}, fmt.Errorf("dist: redistribution between %s and %s: processor counts differ", gFrom, gTo)
+	}
+	if err := from.Validate(gFrom, shape); err != nil {
+		return Loads{}, fmt.Errorf("dist: source scheme: %v", err)
+	}
+	if err := to.Validate(gTo, shape); err != nil {
+		return Loads{}, fmt.Errorf("dist: destination scheme: %v", err)
+	}
+	perDim := make([][]coordPair, len(shape))
+	for k := range shape {
+		dF, dT := from.Dims[k], to.Dims[k]
+		perDim[k] = dimJointCounts(dF, gFrom.Extent(dF.GridDim), dT, gTo.Extent(dT.GridDim), shape[k])
+	}
+
+	l := NewLoads()
+	rawF := make([]int, len(shape))
+	rawT := make([]int, len(shape))
+	emit := func(cnt int64) {
+		coordsF := coordsFromRaw(from, gFrom, rawF)
+		coordsT := coordsFromRaw(to, gTo, rawT)
+		dstRanks := ranksFor(gTo, coordsT)
+		needy := 0
+		for _, d := range dstRanks {
+			owned := true
+			for gd, cf := range coordsF {
+				if cf != All && gFrom.Coord(d, gd) != cf {
+					owned = false
+					break
+				}
+			}
+			if owned {
+				continue
+			}
+			needy++
+			l.In[d] += float64(cnt)
+		}
+		if needy == 0 {
+			return
+		}
+		srcRanks := ranksFor(gFrom, coordsF)
+		share := float64(cnt) * float64(needy) / float64(len(srcRanks))
+		for _, r := range srcRanks {
+			l.Out[r] += share
+		}
+		l.Words += float64(cnt) * float64(needy)
+	}
+	switch len(shape) {
+	case 1:
+		for _, c0 := range perDim[0] {
+			rawF[0], rawT[0] = c0.aF, c0.aT
+			emit(c0.cnt)
+		}
+	case 2:
+		for _, c0 := range perDim[0] {
+			rawF[0], rawT[0] = c0.aF, c0.aT
+			for _, c1 := range perDim[1] {
+				rawF[1], rawT[1] = c1.aF, c1.aT
+				emit(c0.cnt * c1.cnt)
+			}
+		}
+	default:
+		return Loads{}, fmt.Errorf("dist: analytic redistribution supports 1-D and 2-D arrays, got %d-D", len(shape))
+	}
+	return l, nil
+}
+
+// RedistLoadsExact is the element-enumeration reference oracle for
+// RedistLoads: identical semantics (including the even sender-side
+// spread over replicated source owners), computed by visiting every
+// element. Kept for property testing and as the Compiler's reference
+// cost engine.
+func RedistLoadsExact(gFrom, gTo *grid.Grid, shape []int, from, to Scheme) Loads {
+	l := NewLoads()
+	ForEachIndex(shape, func(idx []int) {
+		src := from.Owners(gFrom, idx...)
+		dst := to.Owners(gTo, idx...)
+		needy := 0
+		for _, d := range dst {
+			owned := false
+			for _, r := range src {
+				if r == d {
+					owned = true
+					break
+				}
+			}
+			if !owned {
+				needy++
+				l.In[d]++
+			}
+		}
+		if needy == 0 {
+			return
+		}
+		share := float64(needy) / float64(len(src))
+		for _, r := range src {
+			l.Out[r] += share
+		}
+		l.Words += float64(needy)
+	})
+	return l
+}
+
+// coordsFromRaw turns per-array-dimension raw coordinates (mapDim
+// results before rotation, All for replicated dims) into the full
+// per-grid-dimension coordinate vector, applying Fixed entries and the
+// scheme's rotation.
+func coordsFromRaw(s Scheme, g *grid.Grid, raw []int) []int {
+	coords := make([]int, g.Q())
+	for gd := range coords {
+		if c, ok := s.Fixed[gd]; ok {
+			coords[gd] = c
+		}
+	}
+	z0 := raw[0]
+	z1 := 0
+	if len(raw) > 1 {
+		z1 = raw[1]
+	}
+	if s.Rot != NoRotation {
+		// Validate guarantees two non-replicated dims, so z0, z1 are
+		// concrete coordinates here.
+		n1 := g.Extent(s.Dims[0].GridDim)
+		n2 := g.Extent(s.Dims[1].GridDim)
+		switch s.Rot {
+		case RotateDim2ByDim1:
+			z1 = (((s.D1*z0 + s.D2*z1) % n2) + n2) % n2
+		case RotateDim1ByDim2:
+			z0 = (((s.D1*z0 + s.D2*z1) % n1) + n1) % n1
+		}
+	}
+	coords[s.Dims[0].GridDim] = z0
+	if len(raw) > 1 {
+		coords[s.Dims[1].GridDim] = z1
+	}
+	return coords
+}
+
+// dimJointCounts builds the sparse joint count table of one array
+// dimension: for every coordinate pair (a under dF on nF processors, b
+// under dT on nT processors) the number of indices i in 1..size with
+// dF(i) = a and dT(i) = b, in (a, b) order. Entries with zero count are
+// omitted. Replicated dims contribute the single coordinate All.
+func dimJointCounts(dF Dim, nF int, dT Dim, nT int, size int) []coordPair {
+	switch {
+	case dF.Replicated && dT.Replicated:
+		return []coordPair{{All, All, int64(size)}}
+	case dF.Replicated:
+		var out []coordPair
+		for b := 0; b < nT; b++ {
+			if c := ownCount(dT, nT, b, size); c > 0 {
+				out = append(out, coordPair{All, b, c})
+			}
+		}
+		return out
+	case dT.Replicated:
+		var out []coordPair
+		for a := 0; a < nF; a++ {
+			if c := ownCount(dF, nF, a, size); c > 0 {
+				out = append(out, coordPair{a, All, c})
+			}
+		}
+		return out
+	}
+	switch {
+	case !dF.Cyclic && !dT.Cyclic:
+		return jointBlockBlock(dF, nF, dT, nT, size)
+	case !dF.Cyclic && dT.Cyclic:
+		return jointBlockCyclic(dF, nF, dT, nT, size, false)
+	case dF.Cyclic && !dT.Cyclic:
+		return jointBlockCyclic(dT, nT, dF, nF, size, true)
+	default:
+		return jointCyclicCyclic(dF, nF, dT, nT, size)
+	}
+}
+
+// indexInterval returns the (possibly empty) 1-based index interval
+// owned by coordinate a of a contiguous dim, clamped to [1, size]:
+// the solutions of floor((Sign*i+Disp)/Block) = a.
+func indexInterval(d Dim, a, size int) (lo, hi int) {
+	zlo, zhi := a*d.Block, (a+1)*d.Block-1
+	if d.Sign == 1 {
+		lo, hi = zlo-d.Disp, zhi-d.Disp
+	} else {
+		lo, hi = d.Disp-zhi, d.Disp-zlo
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > size {
+		hi = size
+	}
+	return lo, hi
+}
+
+// zRange maps the index interval [lo, hi] through z = Sign*i + Disp,
+// returning the z interval (always with zl <= zh).
+func zRange(d Dim, lo, hi int) (zl, zh int) {
+	if d.Sign == 1 {
+		return lo + d.Disp, hi + d.Disp
+	}
+	return d.Disp - hi, d.Disp - lo
+}
+
+// countMod counts the integers z in [zl, zh] (zl >= 0) whose residue
+// mod p lies in [rlo, rhi].
+func countMod(zl, zh, p, rlo, rhi int) int64 {
+	if zh < zl {
+		return 0
+	}
+	upTo := func(y int) int64 { // count over [0, y]
+		if y < 0 {
+			return 0
+		}
+		q, r := (y+1)/p, (y+1)%p
+		c := int64(q) * int64(rhi-rlo+1)
+		if r > 0 {
+			top := r - 1
+			if top > rhi {
+				top = rhi
+			}
+			if top >= rlo {
+				c += int64(top - rlo + 1)
+			}
+		}
+		return c
+	}
+	return upTo(zh) - upTo(zl-1)
+}
+
+// ownCount returns the number of indices in 1..size owned by coordinate
+// a of a partitioned dim on n processors.
+func ownCount(d Dim, n, a, size int) int64 {
+	if !d.Cyclic {
+		lo, hi := indexInterval(d, a, size)
+		if hi < lo {
+			return 0
+		}
+		return int64(hi - lo + 1)
+	}
+	zl, zh := zRange(d, 1, size)
+	return countMod(zl, zh, n*d.Block, a*d.Block, (a+1)*d.Block-1)
+}
+
+// jointBlockBlock counts contiguous x contiguous pairs by interval
+// intersection.
+func jointBlockBlock(dF Dim, nF int, dT Dim, nT int, size int) []coordPair {
+	var out []coordPair
+	for a := 0; a < nF; a++ {
+		fLo, fHi := indexInterval(dF, a, size)
+		if fHi < fLo {
+			continue
+		}
+		for b := 0; b < nT; b++ {
+			tLo, tHi := indexInterval(dT, b, size)
+			lo, hi := fLo, fHi
+			if tLo > lo {
+				lo = tLo
+			}
+			if tHi < hi {
+				hi = tHi
+			}
+			if hi >= lo {
+				out = append(out, coordPair{a, b, int64(hi - lo + 1)})
+			}
+		}
+	}
+	return out
+}
+
+// jointBlockCyclic counts contiguous (dB) x cyclic (dC) pairs: for each
+// contiguous block's index interval, the cyclic side's count is a
+// residue-interval count. swapped reports that dB is really the
+// destination side, so emitted pairs are (cyclic, block).
+func jointBlockCyclic(dB Dim, nB int, dC Dim, nC int, size int, swapped bool) []coordPair {
+	var out []coordPair
+	pC := nC * dC.Block
+	for a := 0; a < nB; a++ {
+		lo, hi := indexInterval(dB, a, size)
+		if hi < lo {
+			continue
+		}
+		zl, zh := zRange(dC, lo, hi)
+		for b := 0; b < nC; b++ {
+			c := countMod(zl, zh, pC, b*dC.Block, (b+1)*dC.Block-1)
+			if c == 0 {
+				continue
+			}
+			if swapped {
+				out = append(out, coordPair{b, a, c})
+			} else {
+				out = append(out, coordPair{a, b, c})
+			}
+		}
+	}
+	if swapped {
+		sortPairs(out)
+	}
+	return out
+}
+
+// jointCyclicCyclic counts cyclic x cyclic pairs. The coordinate pair of
+// index i repeats with period lcm(pF, pT), so one period window is
+// scanned and scaled; when the joint period exceeds the extent this
+// degenerates to a plain scan of the dimension — never worse than
+// enumerating the dimension once (and independent of the other
+// dimensions of the array).
+func jointCyclicCyclic(dF Dim, nF int, dT Dim, nT int, size int) []coordPair {
+	pF, pT := nF*dF.Block, nT*dT.Block
+	period := lcm(pF, pT)
+	if period <= 0 || period > size {
+		period = size
+	}
+	full := int64(size / period)
+	rem := size % period
+	counts := make([]int64, nF*nT)
+	coordOf := func(d Dim, n, i int) int {
+		z := d.Sign*i + d.Disp
+		return (z / d.Block) % n
+	}
+	for i := 1; i <= period; i++ {
+		a := coordOf(dF, nF, i)
+		b := coordOf(dT, nT, i)
+		c := full
+		if i <= rem {
+			c++
+		}
+		counts[a*nT+b] += c
+	}
+	var out []coordPair
+	for a := 0; a < nF; a++ {
+		for b := 0; b < nT; b++ {
+			if c := counts[a*nT+b]; c > 0 {
+				out = append(out, coordPair{a, b, c})
+			}
+		}
+	}
+	return out
+}
+
+// sortPairs orders a joint count table by (aF, aT).
+func sortPairs(ps []coordPair) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && (ps[j].aF < ps[j-1].aF || (ps[j].aF == ps[j-1].aF && ps[j].aT < ps[j-1].aT)); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

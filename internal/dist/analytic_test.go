@@ -1,0 +1,216 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmcc/internal/grid"
+)
+
+// randomDim builds a valid Dim for a dimension of the given size mapped
+// to a grid dimension with extent n.
+func randomDim(rng *rand.Rand, size, n, gridDim int) Dim {
+	if rng.Intn(4) == 0 {
+		return Dim{Replicated: true, GridDim: gridDim}
+	}
+	d := Dim{Sign: 1, Block: 1 + rng.Intn(4), Cyclic: rng.Intn(2) == 0, GridDim: gridDim}
+	if rng.Intn(3) == 0 {
+		d.Sign = -1
+	}
+	if d.Sign == 1 {
+		d.Disp = -1 + rng.Intn(4) // z in [Disp+1, Disp+size]
+	} else {
+		d.Disp = size + rng.Intn(3) // z in [Disp-size, Disp-1]
+	}
+	if !d.Cyclic {
+		// Pick the block size so the largest block index fits in n.
+		zmax := d.Sign*size + d.Disp
+		if d.Sign == -1 {
+			zmax = d.Disp - 1
+		}
+		d.Block = ceilDiv(zmax+1, n)
+		if d.Block < 1 {
+			d.Block = 1
+		}
+		d.Block += rng.Intn(2) // occasionally leave slack
+	}
+	return d
+}
+
+// randomScheme builds a valid random Scheme for shape on g.
+func randomScheme(rng *rand.Rand, g *grid.Grid, shape []int) Scheme {
+	dims := rng.Perm(g.Q())[:len(shape)]
+	s := Scheme{Fixed: map[int]int{}}
+	for k, size := range shape {
+		s.Dims = append(s.Dims, randomDim(rng, size, g.Extent(dims[k]), dims[k]))
+	}
+	if len(shape) == 2 && !s.Dims[0].Replicated && !s.Dims[1].Replicated && rng.Intn(3) == 0 {
+		s.Rot = Rotation(1 + rng.Intn(2))
+		s.D1 = 1 - 2*rng.Intn(2)
+		s.D2 = 1 - 2*rng.Intn(2)
+	}
+	used := map[int]bool{}
+	for _, d := range s.Dims {
+		used[d.GridDim] = true
+	}
+	for gd := 0; gd < g.Q(); gd++ {
+		if used[gd] {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			s.Fixed[gd] = All
+		} else {
+			s.Fixed[gd] = rng.Intn(g.Extent(gd))
+		}
+	}
+	return s
+}
+
+func loadsEqual(t *testing.T, got, want Loads) {
+	t.Helper()
+	const eps = 1e-9
+	if math.Abs(got.Words-want.Words) > eps {
+		t.Errorf("Words: analytic %v, oracle %v", got.Words, want.Words)
+	}
+	cmp := func(name string, a, b map[int]float64) {
+		for r, w := range b {
+			if math.Abs(a[r]-w) > eps {
+				t.Errorf("%s[%d]: analytic %v, oracle %v", name, r, a[r], w)
+			}
+		}
+		for r, w := range a {
+			if math.Abs(w) > eps && math.Abs(b[r]-w) > eps {
+				t.Errorf("%s[%d]: analytic %v, oracle %v", name, r, w, b[r])
+			}
+		}
+	}
+	cmp("In", got.In, want.In)
+	cmp("Out", got.Out, want.Out)
+}
+
+// TestRedistLoadsMatchesOracle is the randomized property test: the
+// analytic per-processor loads must equal the element-enumeration
+// oracle's over random scheme pairs covering block, cyclic,
+// block-cyclic, replicated, displaced and reversed distributions, with
+// rotations, on 1-D and 2-D arrays and across differently-shaped grids
+// of equal size.
+func TestRedistLoadsMatchesOracle(t *testing.T) {
+	type gridPair struct{ f, t *grid.Grid }
+	cases := []struct {
+		name  string
+		grids []gridPair
+		shape []int
+	}{
+		{"1d-p4", []gridPair{{grid.New(4), grid.New(4)}}, []int{17}},
+		{"1d-p6", []gridPair{{grid.New(6), grid.New(6)}}, []int{16}},
+		{"2d-2x2", []gridPair{{grid.New(2, 2), grid.New(2, 2)}}, []int{8, 6}},
+		{"2d-cross-grid", []gridPair{
+			{grid.New(4, 1), grid.New(1, 4)},
+			{grid.New(2, 2), grid.New(4, 1)},
+		}, []int{7, 7}},
+		{"1d-on-2d-grid", []gridPair{{grid.New(2, 3), grid.New(3, 2)}}, []int{13}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 60; trial++ {
+				gp := tc.grids[trial%len(tc.grids)]
+				from := randomScheme(rng, gp.f, tc.shape)
+				to := randomScheme(rng, gp.t, tc.shape)
+				if err := from.Validate(gp.f, tc.shape); err != nil {
+					t.Fatalf("trial %d: invalid source scheme %s: %v", trial, from, err)
+				}
+				if err := to.Validate(gp.t, tc.shape); err != nil {
+					t.Fatalf("trial %d: invalid destination scheme %s: %v", trial, to, err)
+				}
+				got, err := RedistLoads(gp.f, gp.t, tc.shape, from, to)
+				if err != nil {
+					t.Fatalf("trial %d: RedistLoads(%s -> %s): %v", trial, from, to, err)
+				}
+				want := RedistLoadsExact(gp.f, gp.t, tc.shape, from, to)
+				if t.Failed() {
+					return
+				}
+				loadsEqual(t, got, want)
+				if t.Failed() {
+					t.Fatalf("trial %d: %s on %s -> %s on %s", trial, from, gp.f, to, gp.t)
+				}
+			}
+		})
+	}
+}
+
+// TestRedistLoadsIdentity: no words move when the scheme does not change.
+func TestRedistLoadsIdentity(t *testing.T) {
+	g := grid.New(4)
+	s := Scheme1D(BlockContiguous(16, 4, 0), nil)
+	l, err := RedistLoads(g, g, []int{16}, s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Words != 0 || l.MaxLoad() != 0 {
+		t.Fatalf("identity redistribution moved %v words (max %v)", l.Words, l.MaxLoad())
+	}
+}
+
+// TestRedistLoadsBlockToCyclic checks a hand-computed case: 8 elements,
+// 2 processors, contiguous blocks -> cyclic. P0 holds 1..4, needs
+// {1,3,5,7}; P1 holds 5..8, needs {2,4,6,8}. Each receives 2 foreign
+// words and sends 2.
+func TestRedistLoadsBlockToCyclic(t *testing.T) {
+	g := grid.New(2)
+	from := Scheme1D(BlockContiguous(8, 2, 0), nil)
+	to := Scheme1D(Cyclic(0), nil)
+	l, err := RedistLoads(g, g, []int{8}, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Words != 4 {
+		t.Fatalf("total words = %v, want 4", l.Words)
+	}
+	for r := 0; r < 2; r++ {
+		if l.In[r] != 2 || l.Out[r] != 2 {
+			t.Fatalf("rank %d: in=%v out=%v, want 2/2", r, l.In[r], l.Out[r])
+		}
+	}
+}
+
+// TestRedistLoadsReplicatedSender: a replicated source spreads its send
+// load evenly across the copies. 1-D array of 8 on 2 procs, replicated
+// -> cyclic: each processor already holds everything it needs, so no
+// words move. Replicated -> fixed-on-p1: p0's 4 missing words must be
+// billed half to each replica.
+func TestRedistLoadsReplicatedSender(t *testing.T) {
+	g := grid.New(2)
+	repl := Scheme1D(Replicated(0), nil)
+	l, err := RedistLoads(g, g, []int{8}, repl, Scheme1D(Cyclic(0), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Words != 0 {
+		t.Fatalf("replicated -> cyclic moved %v words, want 0", l.Words)
+	}
+	// Single-owner destination: one contiguous block covering everything
+	// at coordinate 0.
+	oneOwner := Scheme1D(Dim{Sign: 1, Disp: -1, Block: 8, GridDim: 0}, nil)
+	l, err = RedistLoads(g, g, []int{8}, repl, oneOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destination p0 already owns a replica: nothing moves.
+	if l.Words != 0 {
+		t.Fatalf("replicated -> single owner moved %v words, want 0", l.Words)
+	}
+	// Reverse: single owner -> replicated. p1 needs all 8 words; the
+	// only source owner is p0 (no spread possible).
+	l, err = RedistLoads(g, g, []int{8}, oneOwner, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Words != 8 || l.In[1] != 8 || l.Out[0] != 8 {
+		t.Fatalf("single owner -> replicated: words=%v in[1]=%v out[0]=%v, want 8/8/8", l.Words, l.In[1], l.Out[0])
+	}
+	want := RedistLoadsExact(g, g, []int{8}, oneOwner, repl)
+	loadsEqual(t, l, want)
+}

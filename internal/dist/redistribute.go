@@ -35,7 +35,7 @@ type Plan struct {
 // schemes must be valid for (g, shape); enumeration is exact.
 func NewPlan(g *grid.Grid, shape []int, src, dst Scheme) Plan {
 	vol := map[[2]int]int{}
-	forEachIndex(shape, func(idx []int) {
+	ForEachIndex(shape, func(idx []int) {
 		srcOwners := src.Owners(g, idx...)
 		dstOwners := dst.Owners(g, idx...)
 		has := make(map[int]bool, len(srcOwners))
@@ -77,7 +77,7 @@ func NewPlan(g *grid.Grid, shape []int, src, dst Scheme) Plan {
 // blocks on a 1-processor grid dimension.)
 func Identical(g *grid.Grid, shape []int, a, b Scheme) bool {
 	same := true
-	forEachIndex(shape, func(idx []int) {
+	ForEachIndex(shape, func(idx []int) {
 		if !same {
 			return
 		}
@@ -97,9 +97,11 @@ func Identical(g *grid.Grid, shape []int, a, b Scheme) bool {
 	return same
 }
 
-// forEachIndex enumerates all 1-based multi-indices of the shape in
-// row-major order.
-func forEachIndex(shape []int, f func(idx []int)) {
+// ForEachIndex enumerates all 1-based multi-indices of the shape in
+// row-major order. It is the canonical element iterator shared by the
+// exact enumeration paths (redistribution plans, layout checks, cost
+// oracles); the same idx slice is reused across calls.
+func ForEachIndex(shape []int, f func(idx []int)) {
 	idx := make([]int, len(shape))
 	for i := range idx {
 		idx[i] = 1

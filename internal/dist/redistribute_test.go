@@ -118,7 +118,7 @@ func TestPlanSymmetryQuick(t *testing.T) {
 
 func TestForEachIndexCoversShape(t *testing.T) {
 	var seen [][]int
-	forEachIndex([]int{2, 3}, func(idx []int) {
+	ForEachIndex([]int{2, 3}, func(idx []int) {
 		seen = append(seen, append([]int(nil), idx...))
 	})
 	if len(seen) != 6 {

@@ -217,8 +217,12 @@ func (s Scheme) GridCoords(g *grid.Grid, idx ...int) []int {
 // Owners returns the ranks of every processor holding element idx
 // (several when any grid dimension is replicated), in ascending order.
 func (s Scheme) Owners(g *grid.Grid, idx ...int) []int {
-	coords := s.GridCoords(g, idx...)
-	ranks := []int{0}
+	return ranksFor(g, s.GridCoords(g, idx...))
+}
+
+// ranksFor expands a per-grid-dimension coordinate vector (entries may be
+// All) into the ascending list of matching ranks.
+func ranksFor(g *grid.Grid, coords []int) []int {
 	// Expand dimension by dimension.
 	acc := [][]int{make([]int, 0, g.Q())}
 	for gd := 0; gd < g.Q(); gd++ {
@@ -239,7 +243,7 @@ func (s Scheme) Owners(g *grid.Grid, idx ...int) []int {
 		}
 		acc = next
 	}
-	ranks = ranks[:0]
+	ranks := make([]int, 0, len(acc))
 	for _, t := range acc {
 		ranks = append(ranks, g.Rank(t...))
 	}

@@ -2,6 +2,8 @@
 // listings in Sections 3, 5 and 6 so reports can cite them.
 package ir
 
+import "fmt"
+
 // Jacobi returns Jacobi's iterative algorithm for linear systems
 // A x = b (Section 3):
 //
@@ -238,6 +240,93 @@ func Cannon() *Program {
 		},
 	}
 	p.Nests = []*Nest{nest}
+	return p
+}
+
+// Synthetic returns a sequence of s single-loop nests over two vectors
+// and the diagonals of four m x m matrices, cycling through scaled
+// updates, diagonal extractions and axpys. The design isolates the DP's
+// redistribution costing: every nest's iteration space is O(m), but a
+// scheme change must still move O(m²) matrix elements, so Algorithm 1's
+// cost(P, P') term dominates compile time exactly as it does for long
+// realistic loop sequences over large arrays. The benchmark harness
+// uses it to scale the DP's input size s independently of the paper's
+// fixed examples.
+func Synthetic(s int) *Program {
+	m := V("m")
+	p := &Program{
+		Name:   fmt.Sprintf("synth%d", s),
+		Params: []string{"m"},
+		Arrays: map[string]*Array{
+			"A": {Name: "A", Extents: []Affine{m, m}},
+			"B": {Name: "B", Extents: []Affine{m, m}},
+			"C": {Name: "C", Extents: []Affine{m, m}},
+			"D": {Name: "D", Extents: []Affine{m, m}},
+			"X": {Name: "X", Extents: []Affine{m}},
+			"Y": {Name: "Y", Extents: []Affine{m}},
+		},
+	}
+	iLoop := []Loop{{Index: "i", Lo: Const(1), Hi: m, Step: 1}}
+	di := func(name string) Ref { return R(name, V("i"), V("i")) }
+	patterns := []func(label string, line int) *Nest{
+		func(label string, line int) *Nest { // diagonal-scaled update of X
+			return &Nest{Label: label, Loops: iLoop, Stmts: []*Stmt{
+				{Line: line, Depth: 1, LHS: R("X", V("i")),
+					Reads: []Ref{R("X", V("i")), di("A"), R("Y", V("i"))},
+					RHS:   Add(Rd(R("X", V("i"))), MulE(Rd(di("A")), Rd(R("Y", V("i"))))),
+					Flops: 2,
+					Text:  "X(i) = X(i) + A(i,i) * Y(i)"},
+			}}
+		},
+		func(label string, line int) *Nest { // diagonal-scaled update of Y
+			return &Nest{Label: label, Loops: iLoop, Stmts: []*Stmt{
+				{Line: line, Depth: 1, LHS: R("Y", V("i")),
+					Reads: []Ref{R("Y", V("i")), di("B"), R("X", V("i"))},
+					RHS:   Add(Rd(R("Y", V("i"))), MulE(Rd(di("B")), Rd(R("X", V("i"))))),
+					Flops: 2,
+					Text:  "Y(i) = Y(i) + B(i,i) * X(i)"},
+			}}
+		},
+		func(label string, line int) *Nest { // diagonal combine
+			return &Nest{Label: label, Loops: iLoop, Stmts: []*Stmt{
+				{Line: line, Depth: 1, LHS: di("C"),
+					Reads: []Ref{di("A"), di("B")},
+					RHS:   Add(Rd(di("A")), Rd(di("B"))),
+					Flops: 1,
+					Text:  "C(i,i) = A(i,i) + B(i,i)"},
+			}}
+		},
+		func(label string, line int) *Nest { // diagonal accumulate
+			return &Nest{Label: label, Loops: iLoop, Stmts: []*Stmt{
+				{Line: line, Depth: 1, LHS: di("D"),
+					Reads: []Ref{di("C"), R("X", V("i")), R("Y", V("i"))},
+					RHS:   Add(Rd(di("C")), MulE(Rd(R("X", V("i"))), Rd(R("Y", V("i"))))),
+					Flops: 2,
+					Text:  "D(i,i) = C(i,i) + X(i) * Y(i)"},
+			}}
+		},
+		func(label string, line int) *Nest { // vector axpy
+			return &Nest{Label: label, Loops: iLoop, Stmts: []*Stmt{
+				{Line: line, Depth: 1, LHS: R("X", V("i")),
+					Reads: []Ref{R("X", V("i")), R("Y", V("i"))},
+					RHS:   Add(Rd(R("X", V("i"))), Rd(R("Y", V("i")))),
+					Flops: 1,
+					Text:  "X(i) = X(i) + Y(i)"},
+			}}
+		},
+		func(label string, line int) *Nest { // diagonal difference into Y
+			return &Nest{Label: label, Loops: iLoop, Stmts: []*Stmt{
+				{Line: line, Depth: 1, LHS: R("Y", V("i")),
+					Reads: []Ref{di("C"), di("D")},
+					RHS:   Sub(Rd(di("C")), Rd(di("D"))),
+					Flops: 1,
+					Text:  "Y(i) = C(i,i) - D(i,i)"},
+			}}
+		},
+	}
+	for t := 0; t < s; t++ {
+		p.Nests = append(p.Nests, patterns[t%len(patterns)](fmt.Sprintf("T%d", t+1), t+1))
+	}
 	return p
 }
 
