@@ -614,18 +614,25 @@ func BenchmarkNaiveBackendVsPipelined(b *testing.B) {
 // BenchmarkCompileScaling measures the compile pipeline itself — the
 // cost engine behind Algorithm 1 — on synthetic nest sequences of
 // growing length s and on the paper's Gauss/Jacobi/SOR programs. Each
-// program is compiled twice: "fast" is the production configuration
-// (analytic ChangeCost, memoized cost tables, worker pool); "prechange"
-// reproduces the original engine (element-enumeration ChangeCost, no
-// caches, serial) for the before/after comparison. The prechange
-// variant skips s=16, which is impractical without the analytic path.
+// program is compiled under up to three engines: "fast" is the
+// production configuration (closed-form nest counting with a compiled
+// walker fallback, analytic ChangeCost, memoized cost tables, worker
+// pool); "pr1" is the previous engine (exact iteration-space nest
+// enumeration, everything else as in fast); "prechange" reproduces the
+// original engine (element-enumeration ChangeCost, exact nest counts,
+// no caches, serial). The prechange variant skips s=16, which is
+// impractical without the analytic paths.
 func BenchmarkCompileScaling(b *testing.B) {
 	const m, n = 64, 16
-	compile := func(b *testing.B, p func() *ir.Program, prechange bool) {
+	compile := func(b *testing.B, p func() *ir.Program, engine string) {
 		var res *core.CompileResult
 		for i := 0; i < b.N; i++ {
 			c := core.NewCompiler(p(), cost.Unit(), map[string]int{"m": m}, n)
-			if prechange {
+			switch engine {
+			case "pr1":
+				c.ExactNestCount = true
+			case "prechange":
+				c.ExactNestCount = true
 				c.ExactChangeCost = true
 				c.NoCache = true
 				c.Jobs = 1
@@ -642,11 +649,14 @@ func BenchmarkCompileScaling(b *testing.B) {
 	for _, s := range []int{4, 8, 16} {
 		s := s
 		b.Run(fmt.Sprintf("synth/s=%d/fast", s), func(b *testing.B) {
-			compile(b, func() *ir.Program { return ir.Synthetic(s) }, false)
+			compile(b, func() *ir.Program { return ir.Synthetic(s) }, "fast")
+		})
+		b.Run(fmt.Sprintf("synth/s=%d/pr1", s), func(b *testing.B) {
+			compile(b, func() *ir.Program { return ir.Synthetic(s) }, "pr1")
 		})
 		if s <= 8 {
 			b.Run(fmt.Sprintf("synth/s=%d/prechange", s), func(b *testing.B) {
-				compile(b, func() *ir.Program { return ir.Synthetic(s) }, true)
+				compile(b, func() *ir.Program { return ir.Synthetic(s) }, "prechange")
 			})
 		}
 	}
@@ -659,7 +669,8 @@ func BenchmarkCompileScaling(b *testing.B) {
 		{"sor", ir.SOR},
 	} {
 		pc := pc
-		b.Run(pc.name+"/fast", func(b *testing.B) { compile(b, pc.prog, false) })
-		b.Run(pc.name+"/prechange", func(b *testing.B) { compile(b, pc.prog, true) })
+		b.Run(pc.name+"/fast", func(b *testing.B) { compile(b, pc.prog, "fast") })
+		b.Run(pc.name+"/pr1", func(b *testing.B) { compile(b, pc.prog, "pr1") })
+		b.Run(pc.name+"/prechange", func(b *testing.B) { compile(b, pc.prog, "prechange") })
 	}
 }

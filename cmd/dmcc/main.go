@@ -40,6 +40,7 @@ func main() {
 	greedy := flag.Bool("greedy", false, "use the greedy alignment heuristic instead of exact branch-and-bound")
 	doExec := flag.Bool("exec", false, "execute the compiled program on the simulated machine and verify")
 	jobs := flag.Int("j", 0, "cost-engine worker count (0 = all CPUs, 1 = serial)")
+	engine := flag.String("engine", "fast", "cost engine: fast (closed-form counting with compiled-walker fallback), pr1 (exact nest enumeration), prechange (exact everything, no caches)")
 	flag.Parse()
 
 	var p *ir.Program
@@ -54,7 +55,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
 			os.Exit(1)
 		}
-		if err := run(parsed, *m, *n, *greedy, *jobs); err != nil {
+		if err := run(parsed, *m, *n, *greedy, *jobs, *engine); err != nil {
 			fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
 			os.Exit(1)
 		}
@@ -79,7 +80,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmcc: unknown program %q\n", *prog)
 		os.Exit(2)
 	}
-	if err := run(p, *m, *n, *greedy, *jobs); err != nil {
+	if err := run(p, *m, *n, *greedy, *jobs, *engine); err != nil {
 		fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
 		os.Exit(1)
 	}
@@ -89,6 +90,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// applyEngine configures the compiler's cost engine: the production
+// closed-form path, the PR 1 exact-nest-enumeration path, or the
+// original exact-everything path (ablation and A/B testing).
+func applyEngine(c *core.Compiler, engine string) error {
+	switch engine {
+	case "fast":
+	case "pr1":
+		c.ExactNestCount = true
+	case "prechange":
+		c.ExactNestCount = true
+		c.ExactChangeCost = true
+		c.NoCache = true
+	default:
+		return fmt.Errorf("unknown engine %q (want fast, pr1 or prechange)", engine)
+	}
+	return nil
 }
 
 // execute runs the compiled program on the simulated machine with a
@@ -163,7 +182,7 @@ func execute(p *ir.Program, m, n, jobs int) error {
 	return nil
 }
 
-func run(p *ir.Program, m, n int, greedy bool, jobs int) error {
+func run(p *ir.Program, m, n int, greedy bool, jobs int, engine string) error {
 	fmt.Printf("=== compiling %s for %d processors (m=%d) ===\n\n", p.Name, n, m)
 
 	wp := align.WeightParams{Bind: map[string]int{"m": m}, N: n, Tc: 1}
@@ -176,6 +195,9 @@ func run(p *ir.Program, m, n int, greedy bool, jobs int) error {
 	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
 	c.UseGreedyAlign = greedy
 	c.Jobs = jobs
+	if err := applyEngine(c, engine); err != nil {
+		return err
+	}
 	res, err := c.Compile()
 	if err != nil {
 		return err

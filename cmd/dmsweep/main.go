@@ -14,6 +14,13 @@
 //	                                           (compile-time scaling of
 //	                                            Algorithm 1 over synthetic
 //	                                            nest sequences of length s)
+//	dmsweep -sweep symbolic -m 64,128,256,1024 -n 4,8
+//	                                           (compile once per (program,
+//	                                            N), fit piecewise-
+//	                                            polynomial cost formulas,
+//	                                            evaluate every m
+//	                                            symbolically — no
+//	                                            recompile per point)
 package main
 
 import (
@@ -33,7 +40,7 @@ import (
 )
 
 func main() {
-	sweep := flag.String("sweep", "sor", "sor, gauss, jacobi, stencil, chunks, compile")
+	sweep := flag.String("sweep", "sor", "sor, gauss, jacobi, stencil, chunks, compile, symbolic")
 	ms := flag.String("m", "32,64,128", "comma-separated problem sizes")
 	ns := flag.String("n", "4,8", "comma-separated processor counts")
 	ss := flag.String("s", "4,8,16", "comma-separated nest-sequence lengths (compile sweep)")
@@ -58,24 +65,81 @@ func main() {
 		}
 		return
 	}
+	if *sweep == "symbolic" {
+		if err := runSymbolicSweep(mList, nList); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if err := run(*sweep, mList, nList); err != nil {
 		fail(err)
 	}
 }
 
+// runSymbolicSweep is the closed-form m-sweep: for each (program, N) it
+// compiles ONCE at a base size, freezes the plan, fits piecewise
+// polynomials in m to every nest's counts, and then prices every m in
+// the list by evaluating the polynomials — per-point work is O(degree),
+// independent of m. eval_ns records the per-point evaluation time so the
+// independence is visible in the output.
+func runSymbolicSweep(mList, nList []int) error {
+	fmt.Println("prog,n,m,total,exec,redist,loopcarried,eval_ns")
+	progs := []func() *ir.Program{ir.Jacobi, ir.SOR}
+	for _, mk := range progs {
+		for _, n := range nList {
+			p := mk()
+			// Sample from the asymptotic regime: below (n-1)^2 + n the
+			// last processor's block under ceil(m/n) partitioning is
+			// still empty, and counts only become piecewise polynomial
+			// once every block is populated.
+			baseM := n * n
+			if baseM < 4*n {
+				baseM = 4 * n
+			}
+			c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": baseM}, n)
+			pe, err := core.NewPlanEvaluator(c)
+			if err != nil {
+				return err
+			}
+			if err := pe.Fit(baseM, 3, 2); err != nil {
+				fmt.Printf("# %s n=%d: %v; evaluating per point instead\n", p.Name, n, err)
+			}
+			for _, f := range pe.Formulas() {
+				fmt.Printf("# %s n=%d %s\n", p.Name, n, f)
+			}
+			for _, m := range mList {
+				start := time.Now()
+				pc, err := pe.EvalAt(m)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%s,%d,%d,%.0f,%.0f,%.0f,%.0f,%d\n",
+					p.Name, n, m, pc.Total(), pc.Exec, pc.Redist, pc.LoopCarried,
+					time.Since(start).Nanoseconds())
+			}
+		}
+	}
+	return nil
+}
+
 // runCompileSweep measures the compile pipeline itself: wall-clock time
 // of Compile() on synthetic nest sequences of growing length, for the
-// analytic+memoized engine and the exact-enumeration ablation.
+// analytic+memoized engine, the PR 1 engine (exact nest enumeration)
+// and the exact-everything ablation.
 func runCompileSweep(mList, nList, sList []int, jobs int) error {
 	fmt.Println("engine,s,m,n,compile_ns,segments,mincost")
 	for _, s := range sList {
 		for _, m := range mList {
 			for _, n := range nList {
-				for _, engine := range []string{"analytic", "exact"} {
+				for _, engine := range []string{"analytic", "pr1", "exact"} {
 					p := ir.Synthetic(s)
 					c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
 					c.Jobs = jobs
+					if engine == "pr1" {
+						c.ExactNestCount = true
+					}
 					if engine == "exact" {
+						c.ExactNestCount = true
 						c.ExactChangeCost = true
 						c.NoCache = true
 					}

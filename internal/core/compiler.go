@@ -8,6 +8,11 @@
 //     per-dimension interval intersections instead of enumerating array
 //     elements; the element-wise oracle remains available behind
 //     ExactChangeCost for ablation and property testing.
+//   - Nest execution counts go through cost.CountNestOpts, which answers
+//     in closed form (owner-interval/residue intersections per dimension,
+//     factorized across dimensions) for affine nests and falls back to a
+//     compiled iteration walker otherwise; the reference enumerator stays
+//     behind ExactNestCount for ablation and equivalence testing.
 //   - SegmentCost, ChangeCost and LoopCarriedCost results are memoized
 //     (segment costs by (i,j), redistribution costs by canonical
 //     SchemeSet signature pairs), collapsing the DP's O(s³) cost-engine
@@ -49,6 +54,11 @@ type Compiler struct {
 	// ExactChangeCost prices redistribution with the element-enumeration
 	// oracle instead of the analytic calculator (ablation/reference).
 	ExactChangeCost bool
+	// ExactNestCount prices nest execution with the reference
+	// iteration-space walker (cost.CountNestOptsExact) instead of the
+	// analytic/compiled-walker dispatcher — the PR 1 engine, kept for
+	// ablation and byte-identical-result testing.
+	ExactNestCount bool
 	// NoCache disables cost memoization (ablation).
 	NoCache bool
 
@@ -114,6 +124,16 @@ func (c *Compiler) fanOut(n int, fn func(k int)) {
 		}
 	}
 	wg.Wait()
+}
+
+// countNest dispatches nest counting to the engine the configuration
+// selects: the analytic/compiled-walker dispatcher by default, the
+// reference walker under ExactNestCount.
+func (c *Compiler) countNest(nest *ir.Nest, ss *SchemeSet, opts cost.CountOptions) (cost.Counts, error) {
+	if c.ExactNestCount {
+		return cost.CountNestOptsExact(c.Program, nest, ss.Schemes, ss.Grid, c.Bind, opts)
+	}
+	return cost.CountNestOpts(c.Program, nest, ss.Schemes, ss.Grid, c.Bind, opts)
 }
 
 // writtenAtOrAfter reports the arrays written by nests with (0-based)
@@ -203,7 +223,7 @@ func (c *Compiler) segmentCost(i, j int) (float64, *SchemeSet, error) {
 		total := 0.0
 		for t, nest := range nests {
 			globalT := i - 1 + t
-			ct, err := cost.CountNestOpts(c.Program, nest, ss.Schemes, ss.Grid, c.Bind, cost.CountOptions{
+			ct, err := c.countNest(nest, ss, cost.CountOptions{
 				IncludeRead: func(a string) bool { return !c.isLoopCarriedRead(globalT, a) },
 			})
 			if err != nil {
@@ -318,7 +338,7 @@ func (c *Compiler) LoopCarriedCost(final *SchemeSet) (float64, error) {
 func (c *Compiler) loopCarriedCost(final *SchemeSet) (float64, error) {
 	total := 0.0
 	for t, nest := range c.Program.Nests {
-		ct, err := cost.CountNestOpts(c.Program, nest, final.Schemes, final.Grid, c.Bind, cost.CountOptions{
+		ct, err := c.countNest(nest, final, cost.CountOptions{
 			IncludeRead:   func(a string) bool { return c.isLoopCarriedRead(t, a) },
 			SkipReduction: true,
 			SkipFlops:     true,

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dmcc/internal/cost"
+	"dmcc/internal/ir"
+)
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// TestPlanEvaluatorMatchesCompileAtBase: re-pricing the frozen plan at
+// the size it was compiled for must reproduce the DP's minimum cost —
+// the evaluator prices exactly the plan the DP chose.
+func TestPlanEvaluatorMatchesCompileAtBase(t *testing.T) {
+	for _, p := range []*ir.Program{ir.Jacobi(), ir.Gauss(), ir.SOR(), ir.Synthetic(5)} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			const m, n = 16, 4
+			c := NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
+			pe, err := NewPlanEvaluator(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pc, err := pe.EvalAt(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(pc.Total(), pe.Base.DP.MinimumCost) {
+				t.Errorf("EvalAt(base) = %v (total %.6f), DP minimum %.6f",
+					pc, pc.Total(), pe.Base.DP.MinimumCost)
+			}
+		})
+	}
+}
+
+// TestPlanEvaluatorFit: after fitting, the m-sweep runs on piecewise
+// polynomials alone and must agree exactly with per-size analytic
+// counting — including sizes far beyond any sampled during the fit.
+func TestPlanEvaluatorFit(t *testing.T) {
+	for _, p := range []*ir.Program{ir.Jacobi(), ir.SOR()} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			const n = 4
+			mk := func() *PlanEvaluator {
+				c := NewCompiler(p, cost.Unit(), map[string]int{"m": 16}, n)
+				pe, err := NewPlanEvaluator(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return pe
+			}
+			fitted, direct := mk(), mk()
+			if err := fitted.Fit(3*n, 2, 2); err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range []int{16, 24, 37, 64, 200, 1001} {
+				got, err := fitted.EvalAt(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := direct.EvalAt(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("m=%d: fitted %+v, direct %+v", m, got, want)
+				}
+			}
+			if f := fitted.Formulas(); len(f) != len(p.Nests) {
+				t.Errorf("Formulas() returned %d entries for %d nests", len(f), len(p.Nests))
+			}
+		})
+	}
+}

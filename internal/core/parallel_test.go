@@ -64,10 +64,11 @@ func TestParallelCompileDeterministic(t *testing.T) {
 }
 
 // TestAnalyticEngineMatchesExact: the production engine (analytic
-// ChangeCost + caches) must price every program identically to the
-// element-enumeration reference engine end to end.
+// ChangeCost + analytic/compiled nest counting + caches) must price
+// every program identically — byte for byte — to the element- and
+// iteration-enumeration reference engine end to end.
 func TestAnalyticEngineMatchesExact(t *testing.T) {
-	programs := []*ir.Program{ir.Jacobi(), ir.Gauss(), ir.Synthetic(5)}
+	programs := []*ir.Program{ir.Jacobi(), ir.Gauss(), ir.SOR(), ir.Synthetic(5)}
 	for _, p := range programs {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
@@ -75,6 +76,7 @@ func TestAnalyticEngineMatchesExact(t *testing.T) {
 				c := NewCompiler(p, cost.Unit(), map[string]int{"m": 12}, 4)
 				c.Jobs = 1
 				c.ExactChangeCost = exact
+				c.ExactNestCount = exact
 				c.NoCache = exact
 				res, err := c.Compile()
 				if err != nil {

@@ -1,0 +1,860 @@
+// Closed-form nest counting: the RedistLoads treatment applied to
+// CountNestOptsExact. For rectangular affine nests under block / cyclic /
+// replicated / displaced schemes, every quantity the exact walker tallies
+// by enumerating the iteration space is a function of per-dimension index
+// sets:
+//
+//   - the instances a processor executes are, per loop variable, the loop
+//     range intersected with the affine preimage of the owner-coordinate's
+//     owned pattern (an iset), so instance counts factorize across loop
+//     variables;
+//   - the elements a processor reads are images of those per-variable
+//     sets under the read subscripts — products of isets, or diagonals
+//     when one variable drives two subscripts — and the globally deduped
+//     (element, processor) "needed" pairs of the walker are counts of
+//     unions of such rects, by inclusion-exclusion, minus the part the
+//     processor owns;
+//   - send attribution and reduction combining trees partition the
+//     element space into owner-coordinate cells, exactly like
+//     RedistLoads' per-dimension joint count tables.
+//
+// Everything is exact int64 arithmetic, so the Counts returned here are
+// identical — not approximately, but word for word — to the enumeration's,
+// while the cost is independent of the loop extents. Nests or schemes
+// outside the eligible class (triangular bounds, rotation, non-unit
+// subscript coefficients, out-of-range subscripts) report ok=false and
+// fall back to the optimized walker.
+package cost
+
+import (
+	"dmcc/internal/dist"
+	"dmcc/internal/grid"
+	"dmcc/internal/ir"
+)
+
+const (
+	// maxAnalyticPeriod bounds the residue-set periods (lcm of N*Block
+	// over cyclic dims) the closed forms will carry before bailing out.
+	maxAnalyticPeriod = 4096
+	// maxFootprintRects bounds the per-(array, processor) rect-union size;
+	// inclusion-exclusion is exponential in it.
+	maxFootprintRects = 10
+	// maxReduceCombos bounds the owner-coordinate cell enumeration of one
+	// reduction statement.
+	maxReduceCombos = 1 << 14
+)
+
+// anSub is a compiled subscript: sign*var + c, or the constant c when
+// slot < 0. Bound size parameters are folded into c.
+type anSub struct {
+	slot int
+	sign int
+	c    int
+}
+
+// anDim is the ownership structure of one array dimension.
+type anDim struct {
+	replicated bool
+	gd         int    // mapped grid dimension
+	n          int    // its extent
+	pats       []iset // owned index pattern per grid coordinate (nil when replicated)
+}
+
+type anArray struct {
+	name  string
+	idx   int
+	rank  int
+	s     dist.Scheme
+	sizes [2]int
+	dims  [2]anDim
+}
+
+// ownedRect returns the element set rank coordinates q own, and whether
+// the scheme's Fixed entries admit this rank at all.
+func (a *anArray) ownedRect(q []int) (rect, bool) {
+	for gd, c := range a.s.Fixed {
+		if c != dist.All && c != q[gd] {
+			return rect{}, false
+		}
+	}
+	var sets [2]iset
+	for k := 0; k < a.rank; k++ {
+		d := a.dims[k]
+		if d.replicated {
+			sets[k] = fullSet(1, a.sizes[k])
+		} else {
+			sets[k] = d.pats[q[d.gd]]
+		}
+	}
+	if a.rank == 1 {
+		sets[1] = singletonSet(1)
+	}
+	return prodRect(sets[0], sets[1]), true
+}
+
+type anRef struct {
+	arr  *anArray
+	subs [2]anSub
+}
+
+// anGate pins one grid coordinate of an executing rank.
+type anGate struct{ gd, coord int }
+
+// anConstraint restricts one loop variable per owner grid coordinate:
+// sets[a] = loop range ∩ preimage of coordinate a's owned pattern.
+type anConstraint struct {
+	slot int
+	gd   int
+	sets []iset
+}
+
+type anStmt struct {
+	depth       int
+	flops       int64
+	reduce      bool
+	hasAnchor   bool
+	lhs, anchor anRef
+	owner       anRef
+	reads       []anRef
+	gates       []anGate
+	constraints []anConstraint
+}
+
+type anEngine struct {
+	g          *grid.Grid
+	nprocs     int
+	q          int
+	strides    []int
+	rankCoords [][]int
+	ranges     []iset // per loop slot
+	arrays     []*anArray
+	stmts      []*anStmt
+	opts       CountOptions
+
+	flops []int64
+	in    []int64
+	out   []int64
+	// footprints[arrayIdx][rank] accumulates read rects.
+	footprints [][][]rect
+	remote     int64
+	reduceW    int64
+}
+
+// countNestAnalytic computes CountNestOptsExact's Counts in closed form.
+// ok=false means the nest or schemes are outside the eligible class and
+// the caller must fall back to enumeration. The caller has already
+// validated the nest.
+func countNestAnalytic(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int, opts CountOptions) (Counts, bool, error) {
+	e := &anEngine{g: g, nprocs: g.Size(), q: g.Q(), opts: opts}
+	e.strides = make([]int, e.q)
+	stride := 1
+	for gd := e.q - 1; gd >= 0; gd-- {
+		e.strides[gd] = stride
+		stride *= g.Extent(gd)
+	}
+	e.rankCoords = make([][]int, e.nprocs)
+	for r := 0; r < e.nprocs; r++ {
+		e.rankCoords[r] = make([]int, e.q)
+		for gd := 0; gd < e.q; gd++ {
+			e.rankCoords[r][gd] = g.Coord(r, gd)
+		}
+	}
+
+	// Loop ranges must be rectangular: constant bounds once parameters are
+	// bound. The walker's range semantics: an upward loop covers [lo, hi],
+	// a downward loop [hi, lo]; either may be empty.
+	slotOf := map[string]int{}
+	for s, l := range nest.Loops {
+		slotOf[l.Index] = s
+	}
+	e.ranges = make([]iset, len(nest.Loops))
+	for s, l := range nest.Loops {
+		lo, okLo := constAff(l.Lo, bind)
+		hi, okHi := constAff(l.Hi, bind)
+		if !okLo || !okHi {
+			return Counts{}, false, nil
+		}
+		if l.Step >= 0 {
+			e.ranges[s] = fullSet(lo, hi)
+		} else {
+			e.ranges[s] = fullSet(hi, lo)
+		}
+	}
+
+	arrIdx := map[string]*anArray{}
+	periodLCM := 1
+	arrayOf := func(name string) (*anArray, bool) {
+		if a, ok := arrIdx[name]; ok {
+			return a, true
+		}
+		s := schemes[name]
+		if s.Rot != dist.NoRotation {
+			return nil, false
+		}
+		shape, err := arrayShape(p, name, bind)
+		if err != nil {
+			return nil, false
+		}
+		a := &anArray{name: name, idx: len(e.arrays), rank: len(shape), s: s}
+		for k := 0; k < a.rank; k++ {
+			a.sizes[k] = shape[k]
+			d := s.Dims[k]
+			if d.Replicated {
+				a.dims[k] = anDim{replicated: true, gd: d.GridDim}
+				continue
+			}
+			n := g.Extent(d.GridDim)
+			pats := make([]iset, n)
+			for c := 0; c < n; c++ {
+				pats[c] = setFromPattern(dist.OwnedPatternOf(d, n, c, shape[k]))
+				periodLCM = lcmInt(periodLCM, pats[c].p)
+				if periodLCM > maxAnalyticPeriod {
+					return nil, false
+				}
+			}
+			a.dims[k] = anDim{gd: d.GridDim, n: n, pats: pats}
+		}
+		arrIdx[name] = a
+		e.arrays = append(e.arrays, a)
+		return a, true
+	}
+
+	compileRef := func(r ir.Ref, needInRange bool) (anRef, bool) {
+		a, ok := arrayOf(r.Array)
+		if !ok {
+			return anRef{}, false
+		}
+		out := anRef{arr: a}
+		for k, sub := range r.Subs {
+			sp, ok := compileSub(sub, bind, slotOf)
+			if !ok {
+				return anRef{}, false
+			}
+			if needInRange && !subInRange(sp, e.ranges, a.sizes[k]) {
+				return anRef{}, false
+			}
+			out.subs[k] = sp
+		}
+		return out, true
+	}
+
+	for _, st := range nest.Stmts {
+		executes := true
+		for s := 0; s < st.Depth; s++ {
+			if e.ranges[s].empty() {
+				executes = false
+			}
+		}
+		if !executes {
+			continue
+		}
+		as := &anStmt{depth: st.Depth, flops: int64(st.Flops), reduce: st.Reduce}
+		var ok bool
+		if as.lhs, ok = compileRef(st.LHS, true); !ok {
+			return Counts{}, false, nil
+		}
+		as.owner = as.lhs
+		if st.Reduce {
+			if anchor := anchorRead(st); anchor != nil {
+				as.hasAnchor = true
+				if as.anchor, ok = compileRef(*anchor, true); !ok {
+					return Counts{}, false, nil
+				}
+				as.owner = as.anchor
+			}
+		}
+		for _, rd := range st.Reads {
+			if st.Reduce && rd.Array == st.LHS.Array {
+				continue
+			}
+			if opts.IncludeRead != nil && !opts.IncludeRead(rd.Array) {
+				continue
+			}
+			ref, ok := compileRef(rd, true)
+			if !ok {
+				return Counts{}, false, nil
+			}
+			as.reads = append(as.reads, ref)
+		}
+		// Compile the executor condition: per grid dim of the owner
+		// scheme, either a pinned coordinate (gate) or a per-coordinate
+		// restriction of one loop variable (constraint).
+		oa := as.owner.arr
+		for gd, c := range oa.s.Fixed {
+			if c != dist.All {
+				as.gates = append(as.gates, anGate{gd: gd, coord: c})
+			}
+		}
+		for k := 0; k < oa.rank; k++ {
+			d := oa.dims[k]
+			if d.replicated {
+				continue
+			}
+			sp := as.owner.subs[k]
+			if sp.slot < 0 {
+				as.gates = append(as.gates, anGate{gd: d.gd, coord: oa.s.DimCoordOf(g, k, sp.c)})
+				continue
+			}
+			sets := make([]iset, d.n)
+			for a := 0; a < d.n; a++ {
+				sets[a] = intersectSets(e.ranges[sp.slot], d.pats[a].affinePreimage(sp.sign, sp.c))
+			}
+			as.constraints = append(as.constraints, anConstraint{slot: sp.slot, gd: d.gd, sets: sets})
+		}
+		e.stmts = append(e.stmts, as)
+	}
+
+	// Reduction eligibility: at most one anchored reduction per LHS array,
+	// so partial-sum sets never merge across statements.
+	reduceLHS := map[string]int{}
+	for _, as := range e.stmts {
+		if as.reduce && as.hasAnchor {
+			reduceLHS[as.lhs.arr.name]++
+			if reduceLHS[as.lhs.arr.name] > 1 {
+				return Counts{}, false, nil
+			}
+		}
+	}
+
+	e.flops = make([]int64, e.nprocs)
+	e.in = make([]int64, e.nprocs)
+	e.out = make([]int64, e.nprocs)
+	e.footprints = make([][][]rect, len(e.arrays))
+	for i := range e.footprints {
+		e.footprints[i] = make([][]rect, e.nprocs)
+	}
+
+	// Per-rank pass: instance counts (flops) and read footprints.
+	allowed := make([]iset, len(nest.Loops))
+	constrained := make([]bool, len(nest.Loops))
+	for pr := 0; pr < e.nprocs; pr++ {
+		q := e.rankCoords[pr]
+		for _, as := range e.stmts {
+			if !e.rankExecutes(as, q, allowed, constrained) {
+				continue
+			}
+			iter := int64(1)
+			for s := 0; s < as.depth; s++ {
+				iter *= allowed[s].count()
+			}
+			if iter == 0 {
+				continue
+			}
+			if !opts.SkipFlops {
+				e.flops[pr] += as.flops * iter
+			}
+			for _, rd := range as.reads {
+				r, ok := e.readRect(rd, allowed)
+				if !ok {
+					continue
+				}
+				fp := append(e.footprints[rd.arr.idx][pr], r)
+				if len(fp) > maxFootprintRects {
+					return Counts{}, false, nil
+				}
+				e.footprints[rd.arr.idx][pr] = fp
+			}
+		}
+	}
+
+	// Needed words: per (array, rank), the union of read footprints minus
+	// the owned part; sends bill to the element's first owner, found by
+	// partitioning into owner-coordinate cells.
+	for _, a := range e.arrays {
+		for pr := 0; pr < e.nprocs; pr++ {
+			fp := e.footprints[a.idx][pr]
+			if len(fp) == 0 {
+				continue
+			}
+			total := unionCount(fp)
+			owned, okOwned := a.ownedRect(e.rankCoords[pr])
+			var ownedPart int64
+			var fpOwned []rect
+			if okOwned {
+				fpOwned = intersectAll(fp, owned)
+				ownedPart = unionCount(fpOwned)
+			}
+			need := total - ownedPart
+			if need == 0 {
+				continue
+			}
+			e.remote += need
+			e.in[pr] += need
+			e.forEachOwnerCell(a, func(cell rect, firstRank int) {
+				c := unionCount(intersectAll(fp, cell))
+				if okOwned {
+					c -= unionCount(intersectAll(fpOwned, cell))
+				}
+				if c != 0 {
+					e.out[firstRank] += c
+				}
+			})
+		}
+	}
+
+	// Reduction combining trees.
+	if !opts.SkipReduction {
+		for _, as := range e.stmts {
+			if !as.reduce || !as.hasAnchor {
+				continue
+			}
+			if !e.reduceStmt(as) {
+				return Counts{}, false, nil
+			}
+		}
+	}
+
+	var ct Counts
+	ct.RemoteWords = e.remote
+	ct.ReduceWords = e.reduceW
+	for _, f := range e.flops {
+		ct.TotalFlops += f
+		if f > ct.MaxProcFlops {
+			ct.MaxProcFlops = f
+		}
+	}
+	for _, v := range e.in {
+		if v > ct.MaxProcIn {
+			ct.MaxProcIn = v
+		}
+	}
+	for _, v := range e.out {
+		if v > ct.MaxProcOut {
+			ct.MaxProcOut = v
+		}
+	}
+	return ct, true, nil
+}
+
+// rankExecutes fills allowed[0:depth] with the per-variable instance sets
+// of rank q for stmt as, reporting false when a gate already excludes the
+// rank.
+func (e *anEngine) rankExecutes(as *anStmt, q []int, allowed []iset, constrained []bool) bool {
+	for _, gt := range as.gates {
+		if q[gt.gd] != gt.coord {
+			return false
+		}
+	}
+	for s := 0; s < as.depth; s++ {
+		allowed[s] = e.ranges[s]
+		constrained[s] = false
+	}
+	for _, c := range as.constraints {
+		set := c.sets[q[c.gd]]
+		if constrained[c.slot] {
+			allowed[c.slot] = intersectSets(allowed[c.slot], set)
+		} else {
+			allowed[c.slot] = set
+			constrained[c.slot] = true
+		}
+	}
+	return true
+}
+
+// readRect builds the element rect a read touches over the instance sets.
+// ok=false means the footprint is empty.
+func (e *anEngine) readRect(rd anRef, allowed []iset) (rect, bool) {
+	a := rd.arr
+	if a.rank == 1 {
+		s0, ok := subImage(rd.subs[0], allowed)
+		if !ok {
+			return rect{}, false
+		}
+		return prodRect(s0, singletonSet(1)), true
+	}
+	sp0, sp1 := rd.subs[0], rd.subs[1]
+	if sp0.slot >= 0 && sp0.slot == sp1.slot {
+		base := allowed[sp0.slot]
+		if base.empty() {
+			return rect{}, false
+		}
+		return diagRect(base, sp0.sign, sp0.c, sp1.sign, sp1.c), true
+	}
+	s0, ok0 := subImage(sp0, allowed)
+	s1, ok1 := subImage(sp1, allowed)
+	if !ok0 || !ok1 {
+		return rect{}, false
+	}
+	return prodRect(s0, s1), true
+}
+
+func subImage(sp anSub, allowed []iset) (iset, bool) {
+	if sp.slot < 0 {
+		return singletonSet(sp.c), true
+	}
+	img := allowed[sp.slot].affineImage(sp.sign, sp.c)
+	return img, !img.empty()
+}
+
+// intersectAll intersects every rect with r, dropping provably empty
+// results.
+func intersectAll(rs []rect, r rect) []rect {
+	out := make([]rect, 0, len(rs))
+	for _, x := range rs {
+		if y, ok := intersectRect(x, r); ok {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// forEachOwnerCell partitions array a's element space by first-owner rank:
+// one cell per combination of owner coordinates of the mapped dims, with
+// replicated dims, Fixed=All dims, and All coordinates contributing the
+// canonical coordinate 0, exactly as Scheme.Owners' first entry does.
+func (e *anEngine) forEachOwnerCell(a *anArray, visit func(cell rect, firstRank int)) {
+	base := 0
+	for gd, c := range a.s.Fixed {
+		if c != dist.All {
+			base += c * e.strides[gd]
+		}
+	}
+	dimChoices := func(k int) ([]iset, []int) {
+		if k >= a.rank {
+			return []iset{singletonSet(1)}, []int{0}
+		}
+		d := a.dims[k]
+		if d.replicated {
+			return []iset{fullSet(1, a.sizes[k])}, []int{0}
+		}
+		adds := make([]int, d.n)
+		for c := 0; c < d.n; c++ {
+			adds[c] = c * e.strides[d.gd]
+		}
+		return d.pats, adds
+	}
+	sets0, adds0 := dimChoices(0)
+	sets1, adds1 := dimChoices(1)
+	for c0, s0 := range sets0 {
+		if s0.empty() {
+			continue
+		}
+		for c1, s1 := range sets1 {
+			if s1.empty() {
+				continue
+			}
+			visit(prodRect(s0, s1), base+adds0[c0]+adds1[c1])
+		}
+	}
+}
+
+// varCombo is one cell of a reduction variable's value space: cnt values
+// sharing the same anchor-owner coordinates (pins) and the same
+// first-owner contribution to the combining root (rootAdd).
+type varCombo struct {
+	cnt     int64
+	pins    []anGate
+	rootAdd int
+}
+
+// redC is one per-coordinate constraint on a reduction variable: an
+// anchor dim (pinning a grid coordinate of the partial holders) or an LHS
+// dim (selecting the root's coordinate, worth a*stride of rank).
+type redC struct {
+	gd     int
+	stride int
+	anchor bool
+	sets   []iset
+}
+
+// pairCond couples two grid coordinates through one free variable that
+// drives both anchor subscripts (a diagonal anchor reference).
+type pairCond struct {
+	gd0, gd1 int
+	n1       int
+	ok       []bool
+}
+
+func (as *anStmt) constraintSets(slot, gd int) []iset {
+	for _, c := range as.constraints {
+		if c.slot == slot && c.gd == gd {
+			return c.sets
+		}
+	}
+	return nil
+}
+
+// reduceStmt prices the combining tree of one anchored reduction in
+// closed form. The walker's semantics: the partial-sum holders of one LHS
+// element are the anchor owners over every instance writing it; all
+// non-root holders send one word, and the root receives Log2Ceil(n)
+// tree-level words (or a single transfer when the only holder is not the
+// root). Both the holder set and the root are constant on cells of the
+// LHS-variable value space cut by the anchor and LHS owner patterns, so
+// the accounting is a sum over those cells. Reports false to request
+// fallback when the cell enumeration would blow up.
+func (e *anEngine) reduceStmt(as *anStmt) bool {
+	la := as.lhs.arr
+	aa := as.anchor.arr
+
+	// Root rank contributions that do not depend on the reduced element:
+	// the LHS scheme's Fixed coordinates (All acts as 0 in a first owner)
+	// plus mapped dims with constant subscripts; replicated dims
+	// contribute 0.
+	rootBase := 0
+	for gd, c := range la.s.Fixed {
+		if c != dist.All {
+			rootBase += c * e.strides[gd]
+		}
+	}
+	inU := map[int]bool{}
+	for k := 0; k < la.rank; k++ {
+		sp := as.lhs.subs[k]
+		if sp.slot >= 0 {
+			inU[sp.slot] = true
+		}
+		d := la.dims[k]
+		if d.replicated {
+			continue
+		}
+		if sp.slot < 0 {
+			rootBase += la.s.DimCoordOf(e.g, k, sp.c) * e.strides[d.gd]
+		}
+	}
+
+	// Holder-set conditions that do not depend on the reduced element:
+	// anchor Fixed pins, constant-subscript pins, and for free variables
+	// the coordinates their loop range can reach.
+	pinBase := make([]int, e.q)
+	for gd := range pinBase {
+		pinBase[gd] = -1
+	}
+	for gd, c := range aa.s.Fixed {
+		if c != dist.All {
+			pinBase[gd] = c
+		}
+	}
+	coordAllowed := map[int][]bool{}
+	var pairs []pairCond
+	freeDims := map[int][]int{}
+	for k := 0; k < aa.rank; k++ {
+		d := aa.dims[k]
+		if d.replicated {
+			continue
+		}
+		sp := as.anchor.subs[k]
+		if sp.slot < 0 {
+			pinBase[d.gd] = aa.s.DimCoordOf(e.g, k, sp.c)
+			continue
+		}
+		if !inU[sp.slot] {
+			freeDims[sp.slot] = append(freeDims[sp.slot], k)
+		}
+	}
+	for slot, ks := range freeDims {
+		if len(ks) == 1 {
+			d := aa.dims[ks[0]]
+			sets := as.constraintSets(slot, d.gd)
+			all := make([]bool, d.n)
+			for a := range sets {
+				all[a] = !sets[a].empty()
+			}
+			coordAllowed[d.gd] = all
+			continue
+		}
+		d0, d1 := aa.dims[ks[0]], aa.dims[ks[1]]
+		s0 := as.constraintSets(slot, d0.gd)
+		s1 := as.constraintSets(slot, d1.gd)
+		ok := make([]bool, d0.n*d1.n)
+		for a0 := range s0 {
+			for a1 := range s1 {
+				if !intersectSets(s0[a0], s1[a1]).empty() {
+					ok[a0*d1.n+a1] = true
+				}
+			}
+		}
+		pairs = append(pairs, pairCond{gd0: d0.gd, gd1: d1.gd, n1: d1.n, ok: ok})
+	}
+
+	// Per-LHS-variable cells.
+	var uSlots []int
+	for s := 0; s < as.depth; s++ {
+		if inU[s] {
+			uSlots = append(uSlots, s)
+		}
+	}
+	perVar := make([][]varCombo, len(uSlots))
+	totalCombos := 1
+	for vi, slot := range uSlots {
+		var cs []redC
+		for k := 0; k < aa.rank; k++ {
+			d := aa.dims[k]
+			sp := as.anchor.subs[k]
+			if !d.replicated && sp.slot == slot {
+				cs = append(cs, redC{gd: d.gd, anchor: true, sets: as.constraintSets(slot, d.gd)})
+			}
+		}
+		for k := 0; k < la.rank; k++ {
+			d := la.dims[k]
+			sp := as.lhs.subs[k]
+			if d.replicated || sp.slot != slot {
+				continue
+			}
+			sets := make([]iset, d.n)
+			for a := 0; a < d.n; a++ {
+				sets[a] = intersectSets(e.ranges[slot], d.pats[a].affinePreimage(sp.sign, sp.c))
+			}
+			cs = append(cs, redC{gd: d.gd, stride: e.strides[d.gd], sets: sets})
+		}
+		var combos []varCombo
+		var rec func(ci int, acc iset, pins []anGate, rootAdd int)
+		rec = func(ci int, acc iset, pins []anGate, rootAdd int) {
+			if ci == len(cs) {
+				if c := acc.count(); c > 0 {
+					combos = append(combos, varCombo{cnt: c, pins: append([]anGate(nil), pins...), rootAdd: rootAdd})
+				}
+				return
+			}
+			c := cs[ci]
+			for a, set := range c.sets {
+				x := intersectSets(acc, set)
+				if x.empty() {
+					continue
+				}
+				if c.anchor {
+					rec(ci+1, x, append(pins, anGate{gd: c.gd, coord: a}), rootAdd)
+				} else {
+					rec(ci+1, x, pins, rootAdd+a*c.stride)
+				}
+			}
+		}
+		rec(0, e.ranges[slot], nil, 0)
+		perVar[vi] = combos
+		totalCombos *= len(combos)
+		if totalCombos > maxReduceCombos {
+			return false
+		}
+	}
+
+	// Walk the cross product of per-variable cells; each cell holds cnt
+	// reduced elements with identical holder set and root.
+	pins := make([]int, e.q)
+	var members []int
+	var emit func(vi int, cnt int64, rootAdd int, varPins []anGate)
+	allPins := []anGate{}
+	emit = func(vi int, cnt int64, rootAdd int, varPins []anGate) {
+		if vi < len(uSlots) {
+			for _, cb := range perVar[vi] {
+				emit(vi+1, cnt*cb.cnt, rootAdd+cb.rootAdd, append(varPins, cb.pins...))
+			}
+			return
+		}
+		root := rootBase + rootAdd
+		copy(pins, pinBase)
+		for _, g := range varPins {
+			pins[g.gd] = g.coord
+		}
+		members = members[:0]
+		for pr := 0; pr < e.nprocs; pr++ {
+			q := e.rankCoords[pr]
+			ok := true
+			for gd := 0; gd < e.q; gd++ {
+				if pins[gd] >= 0 && q[gd] != pins[gd] {
+					ok = false
+					break
+				}
+				if ca := coordAllowed[gd]; ok && ca != nil && !ca[q[gd]] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, pc := range pairs {
+					if !pc.ok[q[pc.gd0]*pc.n1+q[pc.gd1]] {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				members = append(members, pr)
+			}
+		}
+		n := len(members)
+		switch {
+		case n == 0:
+		case n == 1:
+			if pr := members[0]; pr != root {
+				e.reduceW += cnt
+				e.out[pr] += cnt
+				e.in[root] += cnt
+			}
+		default:
+			rootIn := false
+			for _, pr := range members {
+				if pr == root {
+					rootIn = true
+				} else {
+					e.out[pr] += cnt
+				}
+			}
+			nonRoot := int64(n)
+			if rootIn {
+				nonRoot--
+			}
+			e.reduceW += nonRoot * cnt
+			e.in[root] += int64(Log2Ceil(n)) * cnt
+		}
+	}
+	emit(0, 1, 0, allPins)
+	return true
+}
+
+// constAff evaluates an affine expression that must be constant under
+// bind.
+func constAff(a ir.Affine, bind map[string]int) (int, bool) {
+	v := a.Const
+	for name, c := range a.Coeff {
+		if c == 0 {
+			continue
+		}
+		bv, ok := bind[name]
+		if !ok {
+			return 0, false
+		}
+		v += c * bv
+	}
+	return v, true
+}
+
+// compileSub compiles a subscript into sign*var + c form; ok=false when
+// it has more than one loop variable or a non-unit coefficient.
+func compileSub(a ir.Affine, bind map[string]int, slotOf map[string]int) (anSub, bool) {
+	out := anSub{slot: -1, c: a.Const}
+	for v, c := range a.Coeff {
+		if c == 0 {
+			continue
+		}
+		if slot, ok := slotOf[v]; ok {
+			if out.slot >= 0 {
+				return anSub{}, false
+			}
+			if c != 1 && c != -1 {
+				return anSub{}, false
+			}
+			out.slot = slot
+			out.sign = c
+			continue
+		}
+		bv, ok := bind[v]
+		if !ok {
+			return anSub{}, false
+		}
+		out.c += c * bv
+	}
+	return out, true
+}
+
+// subInRange checks that the subscript stays inside [1, size] over its
+// variable's full loop range (the walker would panic outside the array).
+func subInRange(sp anSub, ranges []iset, size int) bool {
+	if sp.slot < 0 {
+		return sp.c >= 1 && sp.c <= size
+	}
+	r := ranges[sp.slot]
+	if r.hi < r.lo {
+		return true // never evaluated
+	}
+	img := r.affineImage(sp.sign, sp.c)
+	return img.lo >= 1 && img.hi <= size
+}

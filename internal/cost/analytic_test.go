@@ -1,0 +1,298 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmcc/internal/dist"
+	"dmcc/internal/grid"
+	"dmcc/internal/ir"
+)
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// randDim mirrors the dist package's property-test generator: a valid Dim
+// for a dimension of the given size on a grid dimension of extent n.
+func randDim(rng *rand.Rand, size, n, gridDim int) dist.Dim {
+	if rng.Intn(4) == 0 {
+		return dist.Dim{Replicated: true, GridDim: gridDim}
+	}
+	d := dist.Dim{Sign: 1, Block: 1 + rng.Intn(4), Cyclic: rng.Intn(2) == 0, GridDim: gridDim}
+	if rng.Intn(3) == 0 {
+		d.Sign = -1
+	}
+	if d.Sign == 1 {
+		d.Disp = -1 + rng.Intn(4)
+	} else {
+		d.Disp = size + rng.Intn(3)
+	}
+	if !d.Cyclic {
+		zmax := d.Sign*size + d.Disp
+		if d.Sign == -1 {
+			zmax = d.Disp - 1
+		}
+		d.Block = ceilDiv(zmax+1, n)
+		if d.Block < 1 {
+			d.Block = 1
+		}
+		d.Block += rng.Intn(2)
+	}
+	return d
+}
+
+func randScheme(rng *rand.Rand, g *grid.Grid, shape []int) dist.Scheme {
+	dims := rng.Perm(g.Q())[:len(shape)]
+	s := dist.Scheme{Fixed: map[int]int{}}
+	for k, size := range shape {
+		s.Dims = append(s.Dims, randDim(rng, size, g.Extent(dims[k]), dims[k]))
+	}
+	if len(shape) == 2 && !s.Dims[0].Replicated && !s.Dims[1].Replicated && rng.Intn(5) == 0 {
+		s.Rot = dist.Rotation(1 + rng.Intn(2))
+		s.D1 = 1 - 2*rng.Intn(2)
+		s.D2 = 1 - 2*rng.Intn(2)
+	}
+	used := map[int]bool{}
+	for _, d := range s.Dims {
+		used[d.GridDim] = true
+	}
+	for gd := 0; gd < g.Q(); gd++ {
+		if used[gd] {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			s.Fixed[gd] = dist.All
+		} else {
+			s.Fixed[gd] = rng.Intn(g.Extent(gd))
+		}
+	}
+	return s
+}
+
+// randNestProgram builds a random affine nest over a fixed set of arrays:
+// 1-3 loops (occasionally triangular, empty, or downward), statements at
+// random depths with random affine references (offsets, reversed
+// subscripts, diagonals), and occasional reductions — the program class
+// the counting engines must agree on.
+func randNestProgram(rng *rand.Rand, m int) *ir.Program {
+	p := &ir.Program{
+		Name: "rand",
+		Arrays: map[string]*ir.Array{
+			"A": {Name: "A", Extents: []ir.Affine{ir.V("m"), ir.V("m")}},
+			"C": {Name: "C", Extents: []ir.Affine{ir.V("m"), ir.V("m")}},
+			"B": {Name: "B", Extents: []ir.Affine{ir.V("m")}},
+			"X": {Name: "X", Extents: []ir.Affine{ir.V("m")}},
+		},
+		Params: []string{"m"},
+	}
+	depth := 1 + rng.Intn(3)
+	vars := []string{"i", "j", "k"}[:depth]
+	nest := &ir.Nest{Label: "R1"}
+	// Conservative per-level value bounds for in-range subscript offsets.
+	loMin := make([]int, depth)
+	hiMax := make([]int, depth)
+	for l := 0; l < depth; l++ {
+		lo := 1 + rng.Intn(2)
+		hi := m - rng.Intn(2)
+		loA, hiA := ir.Const(lo), ir.Const(hi)
+		loMin[l], hiMax[l] = lo, hi
+		if l > 0 && rng.Intn(6) == 0 {
+			// Triangular: lower bound follows an outer index.
+			loA = ir.V(vars[rng.Intn(l)])
+			loMin[l] = 1
+		} else if rng.Intn(12) == 0 {
+			loA, hiA = ir.Const(3), ir.Const(2) // empty range
+			loMin[l], hiMax[l] = 3, 2
+		}
+		step := 1
+		if rng.Intn(4) == 0 {
+			step = -1
+			loA, hiA = hiA, loA
+		}
+		nest.Loops = append(nest.Loops, ir.Loop{Index: vars[l], Lo: loA, Hi: hiA, Step: step})
+	}
+	randSub := func(scope int) ir.Affine {
+		if rng.Intn(4) == 0 {
+			return ir.Const(1 + rng.Intn(m))
+		}
+		l := rng.Intn(scope)
+		if rng.Intn(4) == 0 {
+			// Reversed: c - v with c keeping values in [1, m].
+			c := hiMax[l] + 1
+			if c+loMin[l] <= m+loMin[l] && rng.Intn(2) == 0 && c+1 <= m+loMin[l] {
+				c++
+			}
+			return ir.NewAffine(c, ir.Term{Var: vars[l], Coeff: -1})
+		}
+		cLo, cHi := 1-loMin[l], m-hiMax[l]
+		c := 0
+		switch {
+		case cLo <= -1 && rng.Intn(3) == 0:
+			c = -1
+		case cHi >= 1 && rng.Intn(3) == 0:
+			c = 1
+		}
+		return ir.NewAffine(c, ir.Term{Var: vars[l], Coeff: 1})
+	}
+	names := []string{"A", "C", "B", "X"}
+	randRef := func(scope int) ir.Ref {
+		name := names[rng.Intn(len(names))]
+		arr := p.Arrays[name]
+		if arr.Rank() == 1 {
+			return ir.R(name, randSub(scope))
+		}
+		if rng.Intn(4) == 0 && scope > 0 {
+			// Diagonal: both subscripts driven by the same variable.
+			return ir.R(name, randSub(scope), randSub(scope))
+		}
+		return ir.R(name, randSub(scope), randSub(scope))
+	}
+	diagRef := func(scope int) ir.Ref {
+		l := rng.Intn(scope)
+		v := ir.NewAffine(0, ir.Term{Var: vars[l], Coeff: 1})
+		w := v
+		if hiMax[l] < m {
+			w = ir.NewAffine(1, ir.Term{Var: vars[l], Coeff: 1})
+		}
+		return ir.R("A", v, w)
+	}
+	nStmts := 1 + rng.Intn(2)
+	for si := 0; si < nStmts; si++ {
+		d := 1 + rng.Intn(depth)
+		st := &ir.Stmt{Line: si + 1, Depth: d, Flops: 1 + rng.Intn(3)}
+		st.LHS = randRef(d)
+		nr := 1 + rng.Intn(2)
+		for r := 0; r < nr; r++ {
+			if rng.Intn(5) == 0 && d > 0 {
+				st.Reads = append(st.Reads, diagRef(d))
+			} else {
+				st.Reads = append(st.Reads, randRef(d))
+			}
+		}
+		if rng.Intn(3) == 0 {
+			st.Reduce = true
+			// Reductions read their accumulator.
+			st.Reads = append(st.Reads, st.LHS)
+		}
+		nest.Stmts = append(nest.Stmts, st)
+	}
+	p.Nests = []*ir.Nest{nest}
+	return p
+}
+
+func countsEqual(t *testing.T, label string, got, want Counts) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s: got %+v, want %+v", label, got, want)
+	}
+}
+
+// TestCountNestMatchesOracle is the randomized property test of the
+// tentpole: the analytic closed forms and the optimized walker must
+// reproduce the reference enumeration word for word across random affine
+// nests, schemes, grid shapes, both loop-step signs, reductions,
+// diagonals, filters and skip options.
+func TestCountNestMatchesOracle(t *testing.T) {
+	grids := []*grid.Grid{
+		grid.New(4, 1), grid.New(1, 4), grid.New(2, 2), grid.New(2, 3), grid.New(6, 1),
+	}
+	rng := rand.New(rand.NewSource(42))
+	analyticHits := 0
+	const trials = 250
+	for trial := 0; trial < trials; trial++ {
+		g := grids[trial%len(grids)]
+		m := 8 + rng.Intn(4)
+		bind := map[string]int{"m": m}
+		p := randNestProgram(rng, m)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
+		}
+		nest := p.Nests[0]
+		schemes := map[string]dist.Scheme{}
+		for name, arr := range p.Arrays {
+			shape := make([]int, arr.Rank())
+			for k := range shape {
+				shape[k] = m
+			}
+			schemes[name] = randScheme(rng, g, shape)
+			if err := schemes[name].Validate(g, shape); err != nil {
+				t.Fatalf("trial %d: invalid scheme for %s: %v", trial, name, err)
+			}
+		}
+		var opts CountOptions
+		switch trial % 4 {
+		case 1:
+			excl := []string{"A", "C", "B", "X"}[rng.Intn(4)]
+			opts.IncludeRead = func(a string) bool { return a != excl }
+		case 2:
+			opts.SkipReduction = true
+			opts.SkipFlops = true
+		case 3:
+			opts.SkipReduction = true
+		}
+
+		want, err := CountNestOptsExact(p, nest, schemes, g, bind, opts)
+		if err != nil {
+			t.Fatalf("trial %d: oracle: %v", trial, err)
+		}
+		gotFast, err := countNestFast(p, nest, schemes, g, bind, opts)
+		if err != nil {
+			t.Fatalf("trial %d: fast walker: %v", trial, err)
+		}
+		countsEqual(t, "fast walker", gotFast, want)
+		gotAn, ok, err := countNestAnalytic(p, nest, schemes, g, bind, opts)
+		if err != nil {
+			t.Fatalf("trial %d: analytic: %v", trial, err)
+		}
+		if ok {
+			analyticHits++
+			countsEqual(t, "analytic", gotAn, want)
+		}
+		got, err := CountNestOpts(p, nest, schemes, g, bind, opts)
+		if err != nil {
+			t.Fatalf("trial %d: dispatcher: %v", trial, err)
+		}
+		countsEqual(t, "dispatcher", got, want)
+		if t.Failed() {
+			t.Fatalf("trial %d: m=%d grid=%s nest=%+v", trial, m, g, nest)
+		}
+	}
+	// The generator produces mostly eligible nests; if the analytic path
+	// stops engaging, the closed forms silently stop being tested (and
+	// the compiler silently loses its speedup).
+	if analyticHits < trials/4 {
+		t.Fatalf("analytic path engaged on only %d/%d trials", analyticHits, trials)
+	}
+}
+
+// TestCountNestAnalyticJacobi pins the analytic engine to the paper's
+// Jacobi nests under both Table 2 schemes: the closed forms must engage
+// (ok=true) and agree with the oracle.
+func TestCountNestAnalyticJacobi(t *testing.T) {
+	p := ir.Jacobi()
+	m, n := 16, 4
+	bind := map[string]int{"m": m}
+	for _, tc := range []struct {
+		name    string
+		g       *grid.Grid
+		schemes map[string]dist.Scheme
+	}{
+		{"rows", grid.New(n, 1), jacobiRowSchemes(m, n)},
+		{"cols", grid.New(1, n), jacobiColSchemes(m, n)},
+	} {
+		g := tc.g
+		for _, nest := range p.Nests {
+			want, err := CountNestOptsExact(p, nest, tc.schemes, g, bind, CountOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := countNestAnalytic(p, nest, tc.schemes, g, bind, CountOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("%s/%s: analytic engine declined an eligible nest", tc.name, nest.Label)
+			}
+			countsEqual(t, tc.name+"/"+nest.Label, got, want)
+		}
+	}
+}

@@ -1,9 +1,14 @@
-// Exact communication counting under the owner-computes rule: enumerate a
-// nest's iteration space, execute every statement at the owners of its
+// Exact communication counting under the owner-computes rule. The
+// reference implementation (CountNestOptsExact) enumerates a nest's
+// iteration space, executes every statement at the owners of its
 // left-hand side (or, for reductions, at the owners of the anchoring
-// operand, with a combining tree afterwards), and count every word that
-// must cross processors. The dynamic programming algorithm of Section 4
-// prices candidate distribution schemes with these counts; they are also
+// operand, with a combining tree afterwards), and counts every word that
+// must cross processors. The production entry point (CountNestOpts)
+// computes the same Counts in closed form when the nest and schemes are
+// eligible (see analytic.go) and otherwise falls back to an optimized
+// enumeration (fastwalk.go); both are tested word-for-word against the
+// reference. The dynamic programming algorithm of Section 4 prices
+// candidate distribution schemes with these counts; they are also
 // cross-checked against the words actually sent by the executable kernels
 // on the simulated machine.
 package cost
@@ -92,26 +97,77 @@ type CountOptions struct {
 	SkipFlops bool
 }
 
-// CountNestOpts is the general counting entry point.
+// CountNestOpts is the general counting entry point. It produces exactly
+// the Counts of CountNestOptsExact: in closed form, independent of the
+// loop extents, when the nest and schemes are analytic-eligible, and via
+// an optimized iteration-space enumeration otherwise.
 func CountNestOpts(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int, opts CountOptions) (Counts, error) {
-	includeRead := opts.IncludeRead
-	if err := p.Validate(); err != nil {
+	if err := validateNest(p, nest, schemes, g, bind); err != nil {
 		return Counts{}, err
+	}
+	if ct, ok, err := countNestAnalytic(p, nest, schemes, g, bind, opts); err != nil {
+		return Counts{}, err
+	} else if ok {
+		return ct, nil
+	}
+	return countNestFast(p, nest, schemes, g, bind, opts)
+}
+
+// validateNest checks the program, and that every referenced array has a
+// scheme valid for its shape on g.
+func validateNest(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	for _, st := range nest.Stmts {
 		for _, r := range append([]ir.Ref{st.LHS}, st.Reads...) {
 			s, ok := schemes[r.Array]
 			if !ok {
-				return Counts{}, fmt.Errorf("cost: no scheme for array %s", r.Array)
+				return fmt.Errorf("cost: no scheme for array %s", r.Array)
 			}
 			shape, err := arrayShape(p, r.Array, bind)
 			if err != nil {
-				return Counts{}, err
+				return err
 			}
 			if err := s.Validate(g, shape); err != nil {
-				return Counts{}, fmt.Errorf("cost: scheme for %s: %v", r.Array, err)
+				return fmt.Errorf("cost: scheme for %s: %v", r.Array, err)
 			}
 		}
+	}
+	return nil
+}
+
+// ownerCache memoizes Scheme.Owners per (array, element) so the billing
+// loop and repeated statement instances do not recompute (and reallocate)
+// the owner set for every word.
+type ownerCache struct {
+	p       *ir.Program
+	g       *grid.Grid
+	schemes map[string]dist.Scheme
+	m       map[elemKey][]int
+}
+
+func newOwnerCache(p *ir.Program, g *grid.Grid, schemes map[string]dist.Scheme) *ownerCache {
+	return &ownerCache{p: p, g: g, schemes: schemes, m: map[elemKey][]int{}}
+}
+
+func (c *ownerCache) owners(e elemKey) []int {
+	if o, ok := c.m[e]; ok {
+		return o
+	}
+	o := ownersOf(c.p, c.schemes[e.arr], c.g, e)
+	c.m[e] = o
+	return o
+}
+
+// CountNestOptsExact is the reference counting engine: a direct walk of
+// the iteration space. It is the oracle the analytic engine and the
+// optimized walker are verified against, and the ablation engine behind
+// core.Compiler.ExactNestCount.
+func CountNestOptsExact(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int, opts CountOptions) (Counts, error) {
+	includeRead := opts.IncludeRead
+	if err := validateNest(p, nest, schemes, g, bind); err != nil {
+		return Counts{}, err
 	}
 
 	flops := map[int]int64{}
@@ -119,6 +175,7 @@ func CountNestOpts(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme,
 	// partials[lhs element] = set of processors holding a partial sum.
 	partials := map[elemKey]map[int]bool{}
 	partialRoot := map[elemKey]int{}
+	owners := newOwnerCache(p, g, schemes)
 
 	var walk func(level int, env map[string]int) error
 	walk = func(level int, env map[string]int) error {
@@ -129,7 +186,7 @@ func CountNestOpts(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme,
 			if st.Depth != level {
 				continue
 			}
-			if err := execStmt(p, st, schemes, g, bind, env, flops, needed, partials, partialRoot, includeRead, opts.SkipFlops); err != nil {
+			if err := execStmt(p, st, schemes, g, owners, env, flops, needed, partials, partialRoot, includeRead, opts.SkipFlops); err != nil {
 				return err
 			}
 		}
@@ -179,7 +236,7 @@ func CountNestOpts(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme,
 		ct.RemoteWords++
 		in[nk.proc]++
 		// Each word leaves one canonical source: the element's first owner.
-		out[ownersOf(p, schemes[nk.elem.arr], g, nk.elem)[0]]++
+		out[owners.owners(nk.elem)[0]]++
 	}
 	// Reduction combining trees.
 	if opts.SkipReduction {
@@ -223,7 +280,7 @@ func CountNestOpts(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme,
 // execStmt records the computation and data needs of one dynamic
 // statement instance.
 func execStmt(p *ir.Program, st *ir.Stmt, schemes map[string]dist.Scheme, g *grid.Grid,
-	bind, env map[string]int, flops map[int]int64, needed map[needKey]bool,
+	owners *ownerCache, env map[string]int, flops map[int]int64, needed map[needKey]bool,
 	partials map[elemKey]map[int]bool, partialRoot map[elemKey]int,
 	includeRead func(array string) bool, skipFlops bool) error {
 
@@ -231,7 +288,7 @@ func execStmt(p *ir.Program, st *ir.Stmt, schemes map[string]dist.Scheme, g *gri
 	if err != nil {
 		return err
 	}
-	lhsOwners := ownersOf(p, schemes[st.LHS.Array], g, lhsElem)
+	lhsOwners := owners.owners(lhsElem)
 
 	var executors []int
 	if st.Reduce {
@@ -246,7 +303,7 @@ func execStmt(p *ir.Program, st *ir.Stmt, schemes map[string]dist.Scheme, g *gri
 			if err != nil {
 				return err
 			}
-			executors = ownersOf(p, schemes[anchor.Array], g, ae)
+			executors = owners.owners(ae)
 			if partials[lhsElem] == nil {
 				partials[lhsElem] = map[int]bool{}
 				partialRoot[lhsElem] = lhsOwners[0]

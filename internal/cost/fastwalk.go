@@ -1,0 +1,486 @@
+// Optimized exact enumeration: the fallback counting engine for nests the
+// analytic calculator cannot cover (triangular bounds, rotated schemes,
+// non-unit subscript coefficients). Semantically identical to
+// CountNestOptsExact — it walks the same iteration space and applies the
+// same owner-computes accounting — but with the per-instance overheads
+// compiled away: loop bounds and subscripts become slot-indexed affine
+// code (no map lookups), owner sets and first owners are cached per array
+// element in flat tables, and ownership tests compare precomputed grid
+// coordinates instead of materializing owner lists.
+package cost
+
+import (
+	"fmt"
+
+	"dmcc/internal/dist"
+	"dmcc/internal/grid"
+	"dmcc/internal/ir"
+)
+
+// affCode is an affine expression compiled against loop-variable slots,
+// with bound size parameters folded into the constant.
+type affCode struct {
+	c    int
+	idx  []int
+	coef []int
+}
+
+func (a affCode) eval(env []int) int {
+	v := a.c
+	for k, id := range a.idx {
+		v += a.coef[k] * env[id]
+	}
+	return v
+}
+
+func compileAff(a ir.Affine, bind map[string]int, slotOf map[string]int) (affCode, error) {
+	out := affCode{c: a.Const}
+	for v, c := range a.Coeff {
+		if c == 0 {
+			continue
+		}
+		if slot, ok := slotOf[v]; ok {
+			out.idx = append(out.idx, slot)
+			out.coef = append(out.coef, c)
+			continue
+		}
+		if bv, ok := bind[v]; ok {
+			out.c += c * bv
+			continue
+		}
+		return affCode{}, fmt.Errorf("cost: unbound variable %q in %s", v, a)
+	}
+	return out, nil
+}
+
+// fwArray caches the coordinate structure of one referenced array: raw
+// per-dimension grid coordinates for every index, plus lazily filled
+// per-element owner lists and first owners.
+type fwArray struct {
+	scheme dist.Scheme
+	rank   int
+	n0, n1 int
+	// raw per-dimension coordinates, 1-based (entry 0 unused); All for
+	// replicated dims.
+	raw0, raw1 []int
+	gd0, gd1   int
+	rot        bool
+	// template holds the Fixed coordinates; mapped grid dims are
+	// overwritten per element in scratch.
+	template []int
+	scratch  []int
+	owners   [][]int32 // per flat element, lazy
+	first    []int32   // per flat element, lazy (-1 = unset)
+}
+
+func newFWArray(p *ir.Program, name string, s dist.Scheme, g *grid.Grid, bind map[string]int) (*fwArray, error) {
+	shape, err := arrayShape(p, name, bind)
+	if err != nil {
+		return nil, err
+	}
+	a := &fwArray{scheme: s, rank: len(shape), n0: shape[0], n1: 1}
+	if a.rank == 2 {
+		a.n1 = shape[1]
+	}
+	a.raw0 = make([]int, a.n0+1)
+	for i := 1; i <= a.n0; i++ {
+		a.raw0[i] = s.DimCoordOf(g, 0, i)
+	}
+	a.gd0 = s.Dims[0].GridDim
+	if a.rank == 2 {
+		a.raw1 = make([]int, a.n1+1)
+		for j := 1; j <= a.n1; j++ {
+			a.raw1[j] = s.DimCoordOf(g, 1, j)
+		}
+		a.gd1 = s.Dims[1].GridDim
+	}
+	a.rot = a.rank == 2 && s.Rot != dist.NoRotation
+	a.template = make([]int, g.Q())
+	for gd := range a.template {
+		if c, ok := s.Fixed[gd]; ok {
+			a.template[gd] = c
+		}
+	}
+	a.scratch = make([]int, g.Q())
+	flat := a.n0 * a.n1
+	a.owners = make([][]int32, flat)
+	a.first = make([]int32, flat)
+	for k := range a.first {
+		a.first[k] = -1
+	}
+	return a, nil
+}
+
+// coords fills the per-grid-dim owner coordinates of element (i, j) into
+// the array's scratch slice and returns it (valid until the next call).
+func (a *fwArray) coords(g *grid.Grid, i, j int) []int {
+	copy(a.scratch, a.template)
+	z0 := a.raw0[i]
+	if a.rank == 1 {
+		a.scratch[a.gd0] = z0
+		return a.scratch
+	}
+	z1 := a.raw1[j]
+	if a.rot {
+		// Validate guarantees both dims are partitioned under rotation.
+		s := a.scheme
+		n1 := g.Extent(a.gd0)
+		n2 := g.Extent(a.gd1)
+		switch s.Rot {
+		case dist.RotateDim2ByDim1:
+			z1 = (((s.D1*z0 + s.D2*z1) % n2) + n2) % n2
+		case dist.RotateDim1ByDim2:
+			z0 = (((s.D1*z0 + s.D2*z1) % n1) + n1) % n1
+		}
+	}
+	a.scratch[a.gd0] = z0
+	a.scratch[a.gd1] = z1
+	return a.scratch
+}
+
+func (a *fwArray) flat(i, j int) int { return (i-1)*a.n1 + (j - 1) }
+
+// ownersAt returns the ascending owner ranks of element (i, j), cached.
+func (a *fwArray) ownersAt(w *fastWalker, i, j int) []int32 {
+	f := a.flat(i, j)
+	if o := a.owners[f]; o != nil {
+		return o
+	}
+	coords := a.coords(w.g, i, j)
+	total := 1
+	for gd, c := range coords {
+		if c == dist.All {
+			total *= w.g.Extent(gd)
+		}
+	}
+	out := make([]int32, 0, total)
+	// Expand All coordinates lexicographically; row-major ranks make the
+	// result ascending, matching Scheme.Owners.
+	var rec func(gd, partial int)
+	rec = func(gd, partial int) {
+		if gd == len(coords) {
+			out = append(out, int32(partial))
+			return
+		}
+		ext := w.g.Extent(gd)
+		stride := w.strides[gd]
+		if coords[gd] == dist.All {
+			for c := 0; c < ext; c++ {
+				rec(gd+1, partial+c*stride)
+			}
+			return
+		}
+		rec(gd+1, partial+coords[gd]*stride)
+	}
+	rec(0, 0)
+	a.owners[f] = out
+	a.first[f] = out[0]
+	return out
+}
+
+// firstAt returns the canonical (lowest-rank) owner of element (i, j).
+func (a *fwArray) firstAt(w *fastWalker, i, j int) int32 {
+	f := a.flat(i, j)
+	if a.first[f] >= 0 {
+		return a.first[f]
+	}
+	coords := a.coords(w.g, i, j)
+	r := 0
+	for gd, c := range coords {
+		if c != dist.All {
+			r += c * w.strides[gd]
+		}
+	}
+	a.first[f] = int32(r)
+	return int32(r)
+}
+
+// isOwner reports whether rank holds element (i, j).
+func (a *fwArray) isOwner(w *fastWalker, rank int32, i, j int) bool {
+	coords := a.coords(w.g, i, j)
+	base := int(rank) * len(coords)
+	for gd, c := range coords {
+		if c != dist.All && w.rankCoord[base+gd] != int32(c) {
+			return false
+		}
+	}
+	return true
+}
+
+type fwRef struct {
+	arr        *fwArray
+	arrIdx     int
+	sub0, sub1 affCode
+}
+
+func (r fwRef) elem(env []int) (int, int) {
+	i := r.sub0.eval(env)
+	j := 1
+	if r.arr.rank == 2 {
+		j = r.sub1.eval(env)
+	}
+	return i, j
+}
+
+type fwStmt struct {
+	depth     int
+	flops     int64
+	reduce    bool
+	hasAnchor bool
+	lhs       fwRef
+	anchor    fwRef
+	reads     []fwRef
+}
+
+type fwPartial struct {
+	root  int32
+	procs map[int32]struct{}
+}
+
+type fastWalker struct {
+	g         *grid.Grid
+	strides   []int   // rank stride per grid dim (row-major)
+	rankCoord []int32 // rank*Q + gd -> coordinate
+	arrays    []*fwArray
+	stmts     [][]*fwStmt // by depth
+	loops     []struct {
+		lo, hi affCode
+		step   int
+	}
+	skipFlops bool
+
+	flops    []int64
+	needed   map[uint64]struct{}
+	partials map[uint64]*fwPartial
+}
+
+// countNestFast runs the optimized exact enumeration. The caller has
+// already validated the nest.
+func countNestFast(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int, opts CountOptions) (ct Counts, err error) {
+	// Out-of-range subscripts surface as distribution-function panics in
+	// the reference walker; keep that contract.
+	w := &fastWalker{
+		g:         g,
+		skipFlops: opts.SkipFlops,
+		flops:     make([]int64, g.Size()),
+		needed:    map[uint64]struct{}{},
+		partials:  map[uint64]*fwPartial{},
+	}
+	w.strides = make([]int, g.Q())
+	stride := 1
+	for gd := g.Q() - 1; gd >= 0; gd-- {
+		w.strides[gd] = stride
+		stride *= g.Extent(gd)
+	}
+	w.rankCoord = make([]int32, g.Size()*g.Q())
+	for r := 0; r < g.Size(); r++ {
+		for gd := 0; gd < g.Q(); gd++ {
+			w.rankCoord[r*g.Q()+gd] = int32(g.Coord(r, gd))
+		}
+	}
+
+	slotOf := map[string]int{}
+	for s, l := range nest.Loops {
+		slotOf[l.Index] = s
+	}
+	arrIdx := map[string]int{}
+	arrayOf := func(name string) (*fwArray, int, error) {
+		if k, ok := arrIdx[name]; ok {
+			return w.arrays[k], k, nil
+		}
+		a, err := newFWArray(p, name, schemes[name], g, bind)
+		if err != nil {
+			return nil, 0, err
+		}
+		arrIdx[name] = len(w.arrays)
+		w.arrays = append(w.arrays, a)
+		return a, len(w.arrays) - 1, nil
+	}
+	compileRef := func(r ir.Ref) (fwRef, error) {
+		a, k, err := arrayOf(r.Array)
+		if err != nil {
+			return fwRef{}, err
+		}
+		if len(r.Subs) != a.rank || a.rank > 2 {
+			return fwRef{}, fmt.Errorf("cost: reference %s has unsupported rank %d", r, len(r.Subs))
+		}
+		out := fwRef{arr: a, arrIdx: k}
+		if out.sub0, err = compileAff(r.Subs[0], bind, slotOf); err != nil {
+			return fwRef{}, err
+		}
+		if a.rank == 2 {
+			if out.sub1, err = compileAff(r.Subs[1], bind, slotOf); err != nil {
+				return fwRef{}, err
+			}
+		}
+		return out, nil
+	}
+
+	w.stmts = make([][]*fwStmt, len(nest.Loops)+1)
+	for _, st := range nest.Stmts {
+		fs := &fwStmt{depth: st.Depth, flops: int64(st.Flops), reduce: st.Reduce}
+		if fs.lhs, err = compileRef(st.LHS); err != nil {
+			return Counts{}, err
+		}
+		if st.Reduce {
+			if anchor := anchorRead(st); anchor != nil {
+				fs.hasAnchor = true
+				if fs.anchor, err = compileRef(*anchor); err != nil {
+					return Counts{}, err
+				}
+			}
+		}
+		for _, rd := range st.Reads {
+			if st.Reduce && rd.Array == st.LHS.Array {
+				continue // the accumulator is handled by the combining tree
+			}
+			if opts.IncludeRead != nil && !opts.IncludeRead(rd.Array) {
+				continue
+			}
+			ref, err := compileRef(rd)
+			if err != nil {
+				return Counts{}, err
+			}
+			fs.reads = append(fs.reads, ref)
+		}
+		w.stmts[st.Depth] = append(w.stmts[st.Depth], fs)
+	}
+	w.loops = make([]struct {
+		lo, hi affCode
+		step   int
+	}, len(nest.Loops))
+	for s, l := range nest.Loops {
+		if w.loops[s].lo, err = compileAff(l.Lo, bind, slotOf); err != nil {
+			return Counts{}, err
+		}
+		if w.loops[s].hi, err = compileAff(l.Hi, bind, slotOf); err != nil {
+			return Counts{}, err
+		}
+		w.loops[s].step = l.Step
+	}
+
+	env := make([]int, len(nest.Loops))
+	var walk func(level int)
+	walk = func(level int) {
+		for _, fs := range w.stmts[level] {
+			w.exec(fs, env)
+		}
+		if level == len(nest.Loops) {
+			return
+		}
+		l := w.loops[level]
+		lo := l.lo.eval(env)
+		hi := l.hi.eval(env)
+		if l.step >= 0 {
+			for v := lo; v <= hi; v++ {
+				env[level] = v
+				walk(level + 1)
+			}
+		} else {
+			for v := lo; v >= hi; v-- {
+				env[level] = v
+				walk(level + 1)
+			}
+		}
+	}
+	walk(0)
+
+	return w.bill(opts)
+}
+
+func (w *fastWalker) exec(fs *fwStmt, env []int) {
+	li, lj := fs.lhs.elem(env)
+	var executors []int32
+	if fs.reduce && fs.hasAnchor {
+		ai, aj := fs.anchor.elem(env)
+		executors = fs.anchor.arr.ownersAt(w, ai, aj)
+		ek := uint64(fs.lhs.arrIdx)<<48 | uint64(fs.lhs.arr.flat(li, lj))
+		pe := w.partials[ek]
+		if pe == nil {
+			pe = &fwPartial{root: fs.lhs.arr.firstAt(w, li, lj), procs: map[int32]struct{}{}}
+			w.partials[ek] = pe
+		}
+		for _, ex := range executors {
+			pe.procs[ex] = struct{}{}
+		}
+	} else {
+		executors = fs.lhs.arr.ownersAt(w, li, lj)
+	}
+	if !w.skipFlops {
+		for _, ex := range executors {
+			w.flops[ex] += fs.flops
+		}
+	}
+	for _, rd := range fs.reads {
+		ri, rj := rd.elem(env)
+		a := rd.arr
+		// Key layout: arrIdx in the top 16 bits, flat element index in the
+		// middle 32, rank in the low 16.
+		key := uint64(rd.arrIdx)<<48 | uint64(a.flat(ri, rj))<<16
+		for _, ex := range executors {
+			if !a.isOwner(w, ex, ri, rj) {
+				w.needed[key|uint64(ex)] = struct{}{}
+			}
+		}
+	}
+}
+
+// bill converts the accumulated state into Counts with exactly the
+// reference walker's accounting.
+func (w *fastWalker) bill(opts CountOptions) (Counts, error) {
+	var ct Counts
+	in := make([]int64, w.g.Size())
+	out := make([]int64, w.g.Size())
+	for _, f := range w.flops {
+		ct.TotalFlops += f
+		if f > ct.MaxProcFlops {
+			ct.MaxProcFlops = f
+		}
+	}
+	for key := range w.needed {
+		ct.RemoteWords++
+		proc := int(key & 0xffff)
+		flat := int((key >> 16) & (1<<32 - 1))
+		arr := w.arrays[int(key>>48)]
+		in[proc]++
+		i := flat/arr.n1 + 1
+		j := flat%arr.n1 + 1
+		out[arr.firstAt(w, i, j)]++
+	}
+	if opts.SkipReduction {
+		w.partials = nil
+	}
+	for _, pe := range w.partials {
+		n := len(pe.procs)
+		if n <= 1 {
+			if n == 1 {
+				if _, onRoot := pe.procs[pe.root]; !onRoot {
+					ct.ReduceWords++
+					for pr := range pe.procs {
+						out[pr]++
+					}
+					in[pe.root]++
+				}
+			}
+			continue
+		}
+		for pr := range pe.procs {
+			if pr != pe.root {
+				ct.ReduceWords++
+				out[pr]++
+			}
+		}
+		in[pe.root] += int64(Log2Ceil(n))
+	}
+	for _, v := range in {
+		if v > ct.MaxProcIn {
+			ct.MaxProcIn = v
+		}
+	}
+	for _, v := range out {
+		if v > ct.MaxProcOut {
+			ct.MaxProcOut = v
+		}
+	}
+	return ct, nil
+}

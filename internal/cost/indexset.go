@@ -1,0 +1,210 @@
+// Periodic index sets and 2-D element rectangles: the set algebra behind
+// the analytic nest counter. An iset is a union of residue classes
+// clipped to an interval — exactly the shape of the index sets owned by
+// one grid coordinate under the Section 2.1 distribution functions
+// (dist.OwnedPattern) and closed under intersection and unit-slope affine
+// maps. A rect lifts isets to 2-D element sets, either as a product of
+// two isets or as a "diagonal" (the image of one iset under a pair of
+// affine maps, which is what correlated subscripts like A(i,i) produce).
+// Counting is exact integer arithmetic throughout, independent of the
+// interval widths — the property that makes nest counting O(1) in the
+// problem size.
+package cost
+
+import "dmcc/internal/dist"
+
+// iset is {x in [lo, hi] : res[x mod p]} with p >= 1 and len(res) == p.
+type iset struct {
+	lo, hi int
+	p      int
+	res    []bool
+}
+
+func fullSet(lo, hi int) iset { return iset{lo: lo, hi: hi, p: 1, res: []bool{true}} }
+
+func singletonSet(v int) iset { return fullSet(v, v) }
+
+func setFromPattern(pt dist.OwnedPattern) iset {
+	return iset{lo: pt.Lo, hi: pt.Hi, p: pt.Period, res: pt.Residues}
+}
+
+func mod(x, p int) int { return ((x % p) + p) % p }
+
+// countResidue counts x in [lo, hi] with x mod p == r.
+func countResidue(lo, hi, p, r int) int64 {
+	if hi < lo {
+		return 0
+	}
+	// Shift so the range starts at a multiple of p.
+	span := hi - lo + 1
+	off := mod(r-lo, p)
+	if off >= span {
+		return 0
+	}
+	return int64((span-off-1)/p) + 1
+}
+
+func (s iset) count() int64 {
+	if s.hi < s.lo {
+		return 0
+	}
+	var c int64
+	for r, ok := range s.res {
+		if ok {
+			c += countResidue(s.lo, s.hi, s.p, r)
+		}
+	}
+	return c
+}
+
+func (s iset) empty() bool { return s.count() == 0 }
+
+func (s iset) contains(v int) bool {
+	return v >= s.lo && v <= s.hi && s.res[mod(v, s.p)]
+}
+
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcmInt(a, b int) int { return a / gcdInt(a, b) * b }
+
+func intersectSets(a, b iset) iset {
+	p := lcmInt(a.p, b.p)
+	res := make([]bool, p)
+	for r := 0; r < p; r++ {
+		res[r] = a.res[r%a.p] && b.res[r%b.p]
+	}
+	lo, hi := a.lo, a.hi
+	if b.lo > lo {
+		lo = b.lo
+	}
+	if b.hi < hi {
+		hi = b.hi
+	}
+	return iset{lo: lo, hi: hi, p: p, res: res}
+}
+
+// affineImage returns {s*x + c : x in set}, s in {-1, +1}.
+func (st iset) affineImage(s, c int) iset {
+	var lo, hi int
+	if s == 1 {
+		lo, hi = st.lo+c, st.hi+c
+	} else {
+		lo, hi = c-st.hi, c-st.lo
+	}
+	res := make([]bool, st.p)
+	for r, ok := range st.res {
+		if ok {
+			res[mod(s*r+c, st.p)] = true
+		}
+	}
+	return iset{lo: lo, hi: hi, p: st.p, res: res}
+}
+
+// affinePreimage returns {x : s*x + c in set}; since s*s == 1 this is the
+// image under the inverse map x = s*y - s*c.
+func (st iset) affinePreimage(s, c int) iset {
+	return st.affineImage(s, -s*c)
+}
+
+// rect is a set of (e0, e1) element pairs. 1-D arrays use product form
+// with b pinned to the singleton {0}, matching the walker's elemKey.
+type rect struct {
+	diag bool
+	// Product form: a x b.
+	a, b iset
+	// Diagonal form: {(s0*v+c0, s1*v+c1) : v in s}.
+	s      iset
+	s0, c0 int
+	s1, c1 int
+}
+
+func prodRect(a, b iset) rect { return rect{a: a, b: b} }
+
+func diagRect(s iset, s0, c0, s1, c1 int) rect {
+	return rect{diag: true, s: s, s0: s0, c0: c0, s1: s1, c1: c1}
+}
+
+func (r rect) count() int64 {
+	if r.diag {
+		return r.s.count()
+	}
+	return r.a.count() * r.b.count()
+}
+
+// intersectRect intersects two rects. ok == false means provably empty.
+func intersectRect(x, y rect) (rect, bool) {
+	switch {
+	case !x.diag && !y.diag:
+		return prodRect(intersectSets(x.a, y.a), intersectSets(x.b, y.b)), true
+	case x.diag && !y.diag:
+		base := intersectSets(x.s, y.a.affinePreimage(x.s0, x.c0))
+		base = intersectSets(base, y.b.affinePreimage(x.s1, x.c1))
+		return diagRect(base, x.s0, x.c0, x.s1, x.c1), true
+	case !x.diag && y.diag:
+		return intersectRect(y, x)
+	}
+	// diag x diag: points (x.s0*v+x.c0, x.s1*v+x.c1) that also lie on y.
+	// The first coordinates match at w = y.s0*(e0 - y.c0), a unit-slope
+	// affine function of v; the second coordinates then match iff
+	// x.s1*v + x.c1 == y.s1*w + y.c1.
+	alpha := y.s0 * x.s0         // dw/dv
+	beta := y.s0 * (x.c0 - y.c0) // w = alpha*v + beta
+	sigma := y.s1 * alpha        // second-coordinate slope via w
+	delta := y.s1*beta + y.c1    // second coordinate via w at v = 0
+	if x.s1 == sigma {
+		if x.c1 != delta {
+			return rect{}, false
+		}
+		// Same line: restrict v to values whose w lands in y.s.
+		base := intersectSets(x.s, y.s.affinePreimage(alpha, beta))
+		return diagRect(base, x.s0, x.c0, x.s1, x.c1), true
+	}
+	// Crossing lines: a single candidate v.
+	num := delta - x.c1
+	den := x.s1 - sigma // +-2
+	if num%den != 0 {
+		return rect{}, false
+	}
+	v := num / den
+	if !x.s.contains(v) || !y.s.contains(alpha*v+beta) {
+		return rect{}, false
+	}
+	return diagRect(singletonSet(v), x.s0, x.c0, x.s1, x.c1), true
+}
+
+// unionCount returns |union of rects| by inclusion-exclusion. The rect
+// count per (array, processor) is bounded by the nest's read references,
+// so the 2^k term stays tiny; callers cap k (see maxFootprintRects).
+func unionCount(rs []rect) int64 {
+	var rec func(i int, acc *rect, depth int) int64
+	rec = func(i int, acc *rect, depth int) int64 {
+		var sum int64
+		for j := i; j < len(rs); j++ {
+			cur := rs[j]
+			if acc != nil {
+				var ok bool
+				cur, ok = intersectRect(*acc, rs[j])
+				if !ok {
+					continue
+				}
+			}
+			c := cur.count()
+			if c == 0 {
+				continue
+			}
+			if depth%2 == 0 {
+				sum += c
+			} else {
+				sum -= c
+			}
+			sum += rec(j+1, &cur, depth+1)
+		}
+		return sum
+	}
+	return rec(0, nil, 0)
+}

@@ -1,0 +1,101 @@
+package cost
+
+import (
+	"testing"
+
+	"dmcc/internal/grid"
+	"dmcc/internal/ir"
+)
+
+func TestFitPiecewiseExactPolynomial(t *testing.T) {
+	f := func(m int) (int64, error) {
+		v := int64(m)
+		return 3*v*v - 7*v + 2, nil
+	}
+	pp, err := FitPiecewise(f, 4, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Degree() != 2 {
+		t.Fatalf("degree = %d, want 2", pp.Degree())
+	}
+	for _, m := range []int{4, 17, 100, 4096} {
+		want, _ := f(m)
+		got, err := pp.Eval(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Eval(%d) = %d, want %d", m, got, want)
+		}
+	}
+	if s := pp.String(); s != "3*m^2 - 7*m + 2" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestFitPiecewiseDetectsNonPolynomial(t *testing.T) {
+	f := func(m int) (int64, error) {
+		v := int64(1)
+		for i := 0; i < m; i++ {
+			v *= 2
+		}
+		return v, nil // 2^m: no polynomial of degree <= 4
+	}
+	if _, err := FitPiecewise(f, 2, 1, 4, 2); err == nil {
+		t.Fatal("expected a non-polynomial error for 2^m")
+	}
+}
+
+func TestFitPiecewiseResidueClasses(t *testing.T) {
+	// floor(m/4)*m is polynomial on each residue class of m mod 4 but not
+	// globally.
+	f := func(m int) (int64, error) { return int64(m/4) * int64(m), nil }
+	pp, err := FitPiecewise(f, 8, 4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 8; m < 80; m++ {
+		want, _ := f(m)
+		got, err := pp.Eval(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Eval(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+// TestFitCountsJacobi is the tentpole's symbolic claim end to end: the
+// per-nest Counts of Jacobi under the Table 2 row scheme, as a function
+// of m for fixed N, fit degree-2 piecewise polynomials that extrapolate
+// exactly to sizes never counted.
+func TestFitCountsJacobi(t *testing.T) {
+	p := ir.Jacobi()
+	n := 4
+	g := grid.New(n, 1)
+	for _, nestIdx := range []int{0, 1} {
+		nest := p.Nests[nestIdx]
+		f := func(m int) (Counts, error) {
+			return CountNestOpts(p, nest, jacobiRowSchemes(m, n), g, map[string]int{"m": m}, CountOptions{})
+		}
+		sc, err := FitCounts(f, 3*n, n, 2, 2)
+		if err != nil {
+			t.Fatalf("nest %d: %v", nestIdx, err)
+		}
+		for _, m := range []int{16, 20, 33, 50, 127} {
+			want, err := f(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sc.EvalAt(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("nest %d m=%d: symbolic %+v, counted %+v", nestIdx, m, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Owned-index patterns: the per-coordinate index sets of the Section 2.1
+// distribution functions, exposed in closed form. A contiguous dimension
+// owns one interval of indices; a (block-)cyclic dimension owns a
+// periodic residue set. Both are captured by OwnedPattern, the building
+// block the analytic nest counter (package cost) intersects with
+// iteration ranges — the same observation RedistLoads exploits for
+// redistribution costing.
+package dist
+
+import "dmcc/internal/grid"
+
+// OwnedPattern describes the 1-based indices of one array dimension owned
+// by one grid coordinate: {i in [Lo, Hi] : i mod Period in Residues}.
+// Contiguous dimensions have Period 1 (Residues[0] true) and carry all
+// structure in the interval; cyclic dimensions have Period = N*Block and
+// Lo, Hi spanning the whole dimension.
+type OwnedPattern struct {
+	Lo, Hi   int
+	Period   int
+	Residues []bool // len Period; Residues[i mod Period] => owned
+}
+
+// Count returns the number of owned indices.
+func (p OwnedPattern) Count() int64 {
+	if p.Hi < p.Lo {
+		return 0
+	}
+	if p.Period == 1 {
+		if len(p.Residues) == 0 || !p.Residues[0] {
+			return 0
+		}
+		return int64(p.Hi - p.Lo + 1)
+	}
+	var c int64
+	for r, ok := range p.Residues {
+		if ok {
+			c += countMod(p.Lo, p.Hi, p.Period, r, r)
+		}
+	}
+	return c
+}
+
+// DimCoordOf returns the raw (pre-rotation) grid coordinate of index i
+// under array dimension k of the scheme — the paper's fA applied to one
+// subscript — or All for a replicated dimension. It panics exactly where
+// element enumeration would: on indices a contiguous dimension does not
+// map.
+func (s Scheme) DimCoordOf(g *grid.Grid, k, i int) int {
+	return s.Dims[k].mapDim(g, i)
+}
+
+// OwnedPatternOf returns the pattern of indices in 1..size owned by grid
+// coordinate a of a partitioned dimension d on n processors. Replicated
+// dimensions (which own everything) are the caller's concern; calling
+// this on one returns the full range.
+func OwnedPatternOf(d Dim, n, a, size int) OwnedPattern {
+	if d.Replicated {
+		return OwnedPattern{Lo: 1, Hi: size, Period: 1, Residues: []bool{true}}
+	}
+	if !d.Cyclic {
+		lo, hi := indexInterval(d, a, size)
+		return OwnedPattern{Lo: lo, Hi: hi, Period: 1, Residues: []bool{true}}
+	}
+	// Cyclic: i owned iff z = Sign*i + Disp has (z/Block) mod n == a,
+	// i.e. z mod (n*Block) in [a*Block, (a+1)*Block-1]. z mod P depends
+	// only on i mod P, so the owned set is periodic with period n*Block.
+	p := n * d.Block
+	res := make([]bool, p)
+	zlo, zhi := a*d.Block, (a+1)*d.Block-1
+	for r := 0; r < p; r++ {
+		z := ((d.Sign*r+d.Disp)%p + p) % p
+		if z >= zlo && z <= zhi {
+			res[r] = true
+		}
+	}
+	return OwnedPattern{Lo: 1, Hi: size, Period: p, Residues: res}
+}

@@ -38,6 +38,17 @@ type Result struct {
 	Stats  machine.Stats
 }
 
+// minExecChanCap is the floor Run imposes on machine.Config.ChanCap.
+// The execution engine sends one message per remote element rather than
+// batching, and a processor may emit a full boundary row (m words, plus
+// reduction traffic) before its peer drains any of it; an undersized
+// channel then deadlocks the simulated machine rather than just slowing
+// it down. 4096 covers a boundary exchange at the largest sizes the
+// tests and sweeps run (m <= 4096). Callers wanting genuine
+// backpressure experiments must size ChanCap above this floor
+// explicitly.
+const minExecChanCap = 4096
+
 // Run executes the program under the scheme set for the given number of
 // outer iterations (ignored for non-iterative programs). input provides
 // the initial array contents; scalars binds free scalar names.
@@ -62,9 +73,8 @@ func Run(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars map[str
 	if !p.Iterative {
 		iters = 1
 	}
-	// Per-element messages need generous buffering.
-	if cfg.ChanCap < 4096 {
-		cfg.ChanCap = 4096
+	if cfg.ChanCap < minExecChanCap {
+		cfg.ChanCap = minExecChanCap
 	}
 
 	nprocs := ss.Grid.Size()
