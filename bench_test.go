@@ -609,6 +609,60 @@ func BenchmarkNaiveBackendVsPipelined(b *testing.B) {
 	})
 }
 
+// BenchmarkExecBatchedVsExact measures the tentpole of the batched
+// communication schedules: the inspector/executor engine (exec.Run,
+// vectored per-pair exchanges, default ChanCap) against the per-element
+// oracle (exec.RunExact, one message per remote operand, ChanCap raised
+// to m*m so it cannot deadlock) on Gauss elimination at the paper's
+// m=64, N=16 scale. Both report the same simulated naive cost; ns/op is
+// the real-time gap, and the custom metrics show the transport
+// difference (messages on the wire, largest vectored message).
+func BenchmarkExecBatchedVsExact(b *testing.B) {
+	const m, n = 64, 16
+	prog := ir.Gauss()
+	c := core.NewCompiler(prog, cost.Unit(), map[string]int{"m": m}, n)
+	_, ss, err := c.SegmentCost(1, len(prog.Nests))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, rhs, _ := matrix.DiagonallyDominant(m, 401)
+	input := ir.NewStorage(prog)
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= m; j++ {
+			input.Store("A", []int{i, j}, a.At(i-1, j-1))
+		}
+		input.Store("B", []int{i}, rhs[i-1])
+	}
+	bind := map[string]int{"m": m}
+	b.Run("batched", func(b *testing.B) {
+		var last exec.Result
+		for i := 0; i < b.N; i++ {
+			res, err := exec.Run(prog, ss, bind, nil, 1, machine.DefaultConfig(), input)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(last.Stats.ParallelTime, "simtime")
+		b.ReportMetric(float64(last.Transport.Messages), "transportmsgs")
+		b.ReportMetric(float64(last.Transport.MaxMsgWords), "maxmsgwords")
+	})
+	b.Run("exact", func(b *testing.B) {
+		cfg := machine.DefaultConfig()
+		cfg.ChanCap = m * m
+		var last exec.Result
+		for i := 0; i < b.N; i++ {
+			res, err := exec.RunExact(prog, ss, bind, nil, 1, cfg, input)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(last.Stats.ParallelTime, "simtime")
+		b.ReportMetric(float64(last.Transport.Messages), "transportmsgs")
+	})
+}
+
 // ------------------------------------------------- compile-time scaling --
 
 // BenchmarkCompileScaling measures the compile pipeline itself — the

@@ -8,8 +8,12 @@
 //	dmrun -kernel sor         -m 64 -n 8 -iters 10 [-naive]
 //	dmrun -kernel gauss       -m 64 -n 8 [-broadcast]
 //	dmrun -kernel cannon      -m 64 -n 4            (n = grid side q)
+//	dmrun -kernel jacobi -exec -m 64 -n 8 -iters 10  (IR program through the
+//	                                                  naive exec backend with
+//	                                                  compiler-chosen schemes)
 //	flags: -overlap (comm/comp overlap), -async (asynchronous collectives),
-//	       -trace (per-processor time breakdown + Gantt chart)
+//	       -trace (per-processor time breakdown + Gantt chart),
+//	       -chancap (exec: per-link channel capacity in messages)
 package main
 
 import (
@@ -17,6 +21,10 @@ import (
 	"fmt"
 	"os"
 
+	"dmcc/internal/core"
+	"dmcc/internal/cost"
+	"dmcc/internal/exec"
+	"dmcc/internal/ir"
 	"dmcc/internal/kernels"
 	"dmcc/internal/machine"
 	"dmcc/internal/matrix"
@@ -31,6 +39,8 @@ func main() {
 	iters := flag.Int("iters", 10, "iterations (jacobi, sor)")
 	naive := flag.Bool("naive", false, "SOR: reduction-per-step instead of pipeline")
 	broadcast := flag.Bool("broadcast", false, "gauss: multicast instead of pipeline")
+	execBackend := flag.Bool("exec", false, "run the IR program through the exec backend (jacobi, sor, gauss)")
+	chanCap := flag.Int("chancap", 0, "exec backend: per-link channel capacity in messages (0 = default)")
 	overlap := flag.Bool("overlap", false, "overlap communication with computation")
 	async := flag.Bool("async", false, "asynchronous collectives instead of the paper's synchronous model")
 	doTrace := flag.Bool("trace", false, "print per-processor time breakdown and Gantt chart")
@@ -48,7 +58,17 @@ func main() {
 		cfg.Tracer = col
 	}
 
-	if err := run(*kernel, cfg, *m, *n, *n2, *iters, *naive, *broadcast, *seed); err != nil {
+	if *chanCap > 0 {
+		cfg.ChanCap = *chanCap
+	}
+
+	var err error
+	if *execBackend {
+		err = runExec(*kernel, cfg, *m, *n, *iters, *seed)
+	} else {
+		err = run(*kernel, cfg, *m, *n, *n2, *iters, *naive, *broadcast, *seed)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -58,7 +78,7 @@ func main() {
 		if *kernel == "cannon" {
 			nprocs = *n * *n
 		}
-		if *kernel == "sor" || *kernel == "gauss" {
+		if *kernel == "sor" || *kernel == "gauss" || *execBackend {
 			nprocs = *n
 		}
 		makespan := 0.0
@@ -129,6 +149,62 @@ func run(kernel string, cfg machine.Config, m, n, n2, iters int, naive, broadcas
 	default:
 		return fmt.Errorf("unknown kernel %q", kernel)
 	}
+	return nil
+}
+
+// runExec compiles the kernel's IR program (whole-program schemes via
+// Algorithm 1's segment cost), executes it on the batched exec backend,
+// verifies against the sequential reference, and reports both the naive
+// cost model's statistics and what the vectored transport actually moved.
+func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64) error {
+	a, b, _ := matrix.DiagonallyDominant(m, seed)
+	var p *ir.Program
+	var scalars map[string]float64
+	var x0, ref []float64
+	switch kernel {
+	case "jacobi":
+		p = ir.Jacobi()
+		x0 = make([]float64, m)
+		ref = matrix.JacobiSeq(a, b, x0, iters)
+	case "sor":
+		p = ir.SOR()
+		scalars = map[string]float64{"OMEGA": 1.2}
+		x0 = make([]float64, m)
+		ref = matrix.SORSeq(a, b, x0, 1.2, iters)
+	case "gauss":
+		p = ir.Gauss()
+		iters = 1
+		ref = matrix.GaussSeq(a, b)
+	default:
+		return fmt.Errorf("-exec supports jacobi, sor and gauss (got %q)", kernel)
+	}
+	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
+	_, ss, err := c.SegmentCost(1, len(p.Nests))
+	if err != nil {
+		return err
+	}
+	input := ir.NewStorage(p)
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= m; j++ {
+			input.Store("A", []int{i, j}, a.At(i-1, j-1))
+		}
+		input.Store("B", []int{i}, b[i-1])
+		if x0 != nil {
+			input.Store("X", []int{i}, x0[i-1])
+		}
+	}
+	res, err := exec.Run(p, ss, map[string]int{"m": m}, scalars, iters, cfg, input)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, m)
+	for i := 1; i <= m; i++ {
+		x[i-1] = res.Values.Load(ir.R("X", ir.Const(i)), []int{i})
+	}
+	report(fmt.Sprintf("%s (exec backend) on %d processors, %d iters", kernel, n, iters),
+		res.Stats, matrix.MaxAbsDiff(x, ref))
+	fmt.Printf("  transport (batched): %d messages, %d words, largest message %d words\n",
+		res.Transport.Messages, res.Transport.Words, res.Transport.MaxMsgWords)
 	return nil
 }
 

@@ -21,6 +21,11 @@
 //	                                            evaluate every m
 //	                                            symbolically — no
 //	                                            recompile per point)
+//	dmsweep -sweep exec -m 32,64 -n 16         (batched exec backend vs the
+//	                                            per-element RunExact oracle:
+//	                                            wall-clock, simulated time,
+//	                                            naive and transport message/
+//	                                            word counts)
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 
 	"dmcc/internal/core"
 	"dmcc/internal/cost"
+	"dmcc/internal/exec"
 	"dmcc/internal/ir"
 	"dmcc/internal/kernels"
 	"dmcc/internal/machine"
@@ -40,7 +46,7 @@ import (
 )
 
 func main() {
-	sweep := flag.String("sweep", "sor", "sor, gauss, jacobi, stencil, chunks, compile, symbolic")
+	sweep := flag.String("sweep", "sor", "sor, gauss, jacobi, stencil, chunks, compile, symbolic, exec")
 	ms := flag.String("m", "32,64,128", "comma-separated problem sizes")
 	ns := flag.String("n", "4,8", "comma-separated processor counts")
 	ss := flag.String("s", "4,8,16", "comma-separated nest-sequence lengths (compile sweep)")
@@ -67,6 +73,12 @@ func main() {
 	}
 	if *sweep == "symbolic" {
 		if err := runSymbolicSweep(mList, nList); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *sweep == "exec" {
+		if err := runExecSweep(mList, nList); err != nil {
 			fail(err)
 		}
 		return
@@ -120,6 +132,78 @@ func runSymbolicSweep(mList, nList []int) error {
 		}
 	}
 	return nil
+}
+
+// runExecSweep compares the batched exec backend against the
+// per-element RunExact oracle on the three paper programs. Both arms
+// report the same simulated time and naive message/word counts (they
+// share the cost model); the batched arm additionally reports what its
+// vectored transport moved, and wall_ns shows the real-time win of the
+// inspector/executor schedule. The exact arm needs its channel capacity
+// raised to the largest per-pair burst (m*m covers it) — the deadlock
+// crutch the batched engine removes; the batched arm runs at the
+// default ChanCap.
+func runExecSweep(mList, nList []int) error {
+	fmt.Println("prog,engine,m,n,wall_ns,simtime,messages,words,transport_messages,transport_words,max_msg_words")
+	progs := []struct {
+		name    string
+		mk      func() *ir.Program
+		scalars map[string]float64
+		iters   int
+		x0      bool
+	}{
+		{"jacobi", ir.Jacobi, nil, 2, true},
+		{"sor", ir.SOR, map[string]float64{"OMEGA": 1.2}, 2, true},
+		{"gauss", ir.Gauss, nil, 1, false},
+	}
+	for _, pr := range progs {
+		for _, m := range mList {
+			for _, n := range nList {
+				p := pr.mk()
+				c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
+				_, ss, err := c.SegmentCost(1, len(p.Nests))
+				if err != nil {
+					return err
+				}
+				a, b, _ := matrix.DiagonallyDominant(m, 1)
+				input := ir.NewStorage(p)
+				for i := 1; i <= m; i++ {
+					for j := 1; j <= m; j++ {
+						input.Store("A", []int{i, j}, a.At(i-1, j-1))
+					}
+					input.Store("B", []int{i}, b[i-1])
+					if pr.x0 {
+						input.Store("X", []int{i}, 0)
+					}
+				}
+				bind := map[string]int{"m": m}
+
+				start := time.Now()
+				res, err := exec.Run(p, ss, bind, pr.scalars, pr.iters, machine.DefaultConfig(), input)
+				if err != nil {
+					return err
+				}
+				emitExec(pr.name, "batched", m, n, time.Since(start), res)
+
+				ecfg := machine.DefaultConfig()
+				ecfg.ChanCap = m * m
+				start = time.Now()
+				res, err = exec.RunExact(p, ss, bind, pr.scalars, pr.iters, ecfg, input)
+				if err != nil {
+					return err
+				}
+				emitExec(pr.name, "exact", m, n, time.Since(start), res)
+			}
+		}
+	}
+	return nil
+}
+
+func emitExec(prog, engine string, m, n int, wall time.Duration, res exec.Result) {
+	fmt.Printf("%s,%s,%d,%d,%d,%.0f,%d,%d,%d,%d,%d\n",
+		prog, engine, m, n, wall.Nanoseconds(), res.Stats.ParallelTime,
+		res.Stats.Messages, res.Stats.Words,
+		res.Transport.Messages, res.Transport.Words, res.Transport.MaxMsgWords)
 }
 
 // runCompileSweep measures the compile pipeline itself: wall-clock time

@@ -1,0 +1,301 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dmcc/internal/ir"
+	"dmcc/internal/machine"
+	"dmcc/internal/matrix"
+)
+
+// exactCfg returns cfg sized for the per-element oracle: RunExact has
+// no batching, so its channels must absorb the largest per-pair burst
+// (bounded by m*m one-word messages) or the machine deadlocks — the
+// very crutch the batched engine removes.
+func exactCfg(cfg machine.Config, m int) machine.Config {
+	cfg.ChanCap = m * m
+	return cfg
+}
+
+// requireIdentical asserts the batched engine reproduced the oracle's
+// values and simulated statistics bit for bit.
+func requireIdentical(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Values, want.Values) {
+		t.Fatalf("%s: batched values differ from RunExact", label)
+	}
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		t.Fatalf("%s: batched stats differ from RunExact:\n got %+v\nwant %+v", label, got.Stats, want.Stats)
+	}
+	if got.Transport.Words != want.Stats.Words {
+		t.Fatalf("%s: batched transport carried %d words, per-element engine %d",
+			label, got.Transport.Words, want.Stats.Words)
+	}
+	if got.Transport.Messages > want.Stats.Messages {
+		t.Fatalf("%s: batching did not reduce messages: %d > %d",
+			label, got.Transport.Messages, want.Stats.Messages)
+	}
+}
+
+// TestBatchedMatchesExactKernels: on every kernel program the batched
+// engine's Result.Values are byte-identical to RunExact and the
+// simulated Stats (clocks, flops, messages, words, per-proc) are
+// exactly equal, while the transport itself moves far fewer messages.
+func TestBatchedMatchesExactKernels(t *testing.T) {
+	type kase struct {
+		name    string
+		p       *ir.Program
+		m       int
+		iters   int
+		ns      []int
+		scalars map[string]float64
+		x0      bool
+		// batches marks kernels with operand-ship traffic, where the
+		// vectored transport must use strictly fewer messages. Jacobi
+		// and SOR under compiler-chosen schemes ship nothing (X is
+		// replicated): all their messages are reduction finalizes,
+		// which stay per-element in both engines.
+		batches bool
+	}
+	cases := []kase{
+		{name: "jacobi", p: ir.Jacobi(), m: 16, iters: 5, ns: []int{1, 2, 4}, x0: true},
+		{name: "sor", p: ir.SOR(), m: 12, iters: 4, ns: []int{1, 2, 4},
+			scalars: map[string]float64{"OMEGA": 1.2}, x0: true},
+		{name: "gauss", p: ir.Gauss(), m: 12, iters: 1, ns: []int{1, 2, 3}, batches: true},
+	}
+	for _, c := range cases {
+		a, b, _ := matrix.DiagonallyDominant(c.m, 401)
+		var x0 []float64
+		if c.x0 {
+			x0 = make([]float64, c.m)
+		}
+		input := loadLinearSystem(c.p, a, b, x0)
+		for _, n := range c.ns {
+			label := fmt.Sprintf("%s m=%d n=%d", c.name, c.m, n)
+			ss := wholeProgramSchemes(t, c.p, c.m, n)
+			bind := map[string]int{"m": c.m}
+			got, err := Run(c.p, ss, bind, c.scalars, c.iters, machine.DefaultConfig(), input)
+			if err != nil {
+				t.Fatalf("%s: batched: %v", label, err)
+			}
+			want, err := RunExact(c.p, ss, bind, c.scalars, c.iters, exactCfg(machine.DefaultConfig(), c.m), input)
+			if err != nil {
+				t.Fatalf("%s: exact: %v", label, err)
+			}
+			requireIdentical(t, label, got, want)
+			if c.batches && n > 1 && got.Transport.Messages >= want.Stats.Messages {
+				t.Errorf("%s: expected vectored transport to batch messages (%d vs %d)",
+					label, got.Transport.Messages, want.Stats.Messages)
+			}
+		}
+	}
+}
+
+// TestExecChanCap1 is the regression the old engine could not pass
+// without its minExecChanCap crutch: jacobi, SOR and Gauss complete at
+// ChanCap=1 — every channel holding a single message — and still
+// produce the right answers. Batched exchanges are deadlock-free at
+// minimum capacity by construction.
+func TestExecChanCap1(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.ChanCap = 1
+
+	m := 12
+	a, b, _ := matrix.DiagonallyDominant(m, 409)
+	x0 := make([]float64, m)
+
+	pj := ir.Jacobi()
+	want := matrix.JacobiSeq(a, b, x0, 4)
+	for _, n := range []int{2, 4} {
+		ss := wholeProgramSchemes(t, pj, m, n)
+		res, err := Run(pj, ss, map[string]int{"m": m}, nil, 4, cfg, loadLinearSystem(pj, a, b, x0))
+		if err != nil {
+			t.Fatalf("jacobi n=%d: %v", n, err)
+		}
+		if d := matrix.MaxAbsDiff(extractX(res.Values, m), want); d > 1e-9 {
+			t.Errorf("jacobi n=%d: max diff %v", n, d)
+		}
+	}
+
+	ps := ir.SOR()
+	want = matrix.SORSeq(a, b, x0, 1.2, 3)
+	for _, n := range []int{2, 4} {
+		ss := wholeProgramSchemes(t, ps, m, n)
+		res, err := Run(ps, ss, map[string]int{"m": m}, map[string]float64{"OMEGA": 1.2}, 3, cfg,
+			loadLinearSystem(ps, a, b, x0))
+		if err != nil {
+			t.Fatalf("sor n=%d: %v", n, err)
+		}
+		if d := matrix.MaxAbsDiff(extractX(res.Values, m), want); d > 1e-9 {
+			t.Errorf("sor n=%d: max diff %v", n, d)
+		}
+	}
+
+	pg := ir.Gauss()
+	want = matrix.GaussSeq(a, b)
+	for _, n := range []int{2, 3} {
+		ss := wholeProgramSchemes(t, pg, m, n)
+		res, err := Run(pg, ss, map[string]int{"m": m}, nil, 1, cfg, loadLinearSystem(pg, a, b, nil))
+		if err != nil {
+			t.Fatalf("gauss n=%d: %v", n, err)
+		}
+		if d := matrix.MaxAbsDiff(extractX(res.Values, m), want); d > 1e-9 {
+			t.Errorf("gauss n=%d: max diff %v", n, d)
+		}
+	}
+}
+
+// randomReduceProgram extends randomProgram with reduction statements:
+// depth-2 nests accumulate into a rank-1 array under Reduce semantics
+// (the travelling-accumulator pattern of Jacobi's inner product), and
+// later statements read the accumulator, exercising finalize-on-read,
+// nest-end finalizes, and the residual direct-send path.
+func randomReduceProgram(rng *rand.Rand) *ir.Program {
+	p := randomProgram(rng)
+	// Find a rank-1 array for the accumulator and a rank-2 array for
+	// the anchor; fall back to plain programs when the draw lacks them.
+	var acc, anchor string
+	for name, arr := range p.Arrays {
+		if arr.Rank() == 1 && acc == "" {
+			acc = name
+		}
+		if arr.Rank() == 2 && anchor == "" {
+			anchor = name
+		}
+	}
+	if acc == "" || anchor == "" {
+		return p
+	}
+	for t := range p.Nests {
+		nest := p.Nests[t]
+		if len(nest.Loops) != 2 || rng.Intn(2) == 0 {
+			continue
+		}
+		lhs := ir.Ref{Array: acc, Subs: []ir.Affine{ir.V("i")}}
+		rd := ir.Ref{Array: anchor, Subs: []ir.Affine{ir.V("i"), ir.V("j")}}
+		rhs := ir.Add(ir.Rd(lhs), ir.MulE(ir.Num(0.25), ir.Rd(rd)))
+		nest.Stmts = append(nest.Stmts, &ir.Stmt{
+			Line:   100 + t,
+			Depth:  2,
+			LHS:    lhs,
+			Reads:  ir.ExprReads(rhs),
+			RHS:    rhs,
+			Flops:  ir.ExprFlops(rhs),
+			Reduce: true,
+			Text:   fmt.Sprintf("%s = %s [reduce]", lhs, rhs),
+		})
+	}
+	return p
+}
+
+// TestBatchedMatchesExactFuzz: the randomized property behind the whole
+// refactor — on synthetic programs (with reductions), random schemes
+// and random inputs, the batched engine at ChanCap=1 produces values
+// and stats exactly equal to the per-element oracle on generously
+// sized channels.
+func TestBatchedMatchesExactFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	const m = 8
+	tight := machine.DefaultConfig()
+	tight.ChanCap = 1
+	for trial := 0; trial < 30; trial++ {
+		p := randomReduceProgram(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
+		}
+		input := ir.NewStorage(p)
+		for name, arr := range p.Arrays {
+			if arr.Rank() == 1 {
+				for i := 1; i <= m; i++ {
+					input.Store(name, []int{i}, rng.Float64()*2-1)
+				}
+			} else {
+				for i := 1; i <= m; i++ {
+					for j := 1; j <= m; j++ {
+						input.Store(name, []int{i, j}, rng.Float64()*2-1)
+					}
+				}
+			}
+		}
+		iters := 1 + rng.Intn(2)
+		for _, n := range []int{1, 2, 4} {
+			ss := fuzzSchemes(t, p, m, n)
+			if ss == nil {
+				continue
+			}
+			bind := map[string]int{"m": m}
+			got, err := Run(p, ss, bind, nil, iters, tight, input)
+			if err != nil {
+				t.Fatalf("trial %d n=%d: batched: %v", trial, n, err)
+			}
+			want, err := RunExact(p, ss, bind, nil, iters, exactCfg(machine.DefaultConfig(), m), input)
+			if err != nil {
+				t.Fatalf("trial %d n=%d: exact: %v", trial, n, err)
+			}
+			requireIdentical(t, fmt.Sprintf("trial %d n=%d", trial, n), got, want)
+		}
+	}
+}
+
+// TestParseKeyMalformed: the satellite fix — parseKey used to fold any
+// stray byte into the subscript digits (e.g. "a!1x2" parsed); it now
+// panics naming the malformed key.
+func TestParseKeyMalformed(t *testing.T) {
+	for _, key := range []string{"1x2", "a!1", " 1", "1,", ",1", "1,,2", "--3", "+5", "007", "1.5"} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("parseKey(%q) accepted a malformed key", key)
+					return
+				}
+				if s, ok := r.(string); !ok || !containsStr(s, key) {
+					t.Errorf("parseKey(%q) panic %v does not name the key", key, r)
+				}
+			}()
+			parseKey(key)
+		}()
+	}
+	// splitKey rejects keys without an array part.
+	for _, key := range []string{"", "!1,2", "noseparator"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("splitKey(%q) accepted a malformed key", key)
+				}
+			}()
+			splitKey(key)
+		}()
+	}
+}
+
+// TestKeyRoundTripProperty: subKey/parseKey and pkey/splitKey round-trip
+// on random subscript vectors.
+func TestKeyRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		idx := make([]int, 1+rng.Intn(3))
+		for i := range idx {
+			idx[i] = rng.Intn(2001) - 1000
+		}
+		if got := parseKey(subKey(idx)); !reflect.DeepEqual(got, idx) {
+			t.Fatalf("parseKey(subKey(%v)) = %v", idx, got)
+		}
+		arr, got := splitKey(pkey("Arr", idx))
+		if arr != "Arr" || !reflect.DeepEqual(got, idx) {
+			t.Fatalf("splitKey(pkey(%v)) = %s, %v", idx, arr, got)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

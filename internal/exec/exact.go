@@ -1,0 +1,323 @@
+// The per-element reference engine: the original naive backend kept as
+// the oracle behind RunExact, mirroring the CountNestOptsExact
+// discipline. Every remote operand crosses the network as its own
+// one-word message, exactly as a 1993 naive compiler would emit it; the
+// batched engine in schedule.go/executor.go must reproduce its Values
+// and Stats bit for bit (TestBatchedMatchesExact).
+
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dmcc/internal/core"
+	"dmcc/internal/ir"
+	"dmcc/internal/machine"
+)
+
+// RunExact executes the program with the per-element reference engine.
+//
+// Unlike Run it performs no message batching, so a processor may emit a
+// full boundary row (m words, plus reduction traffic) before its peer
+// drains any of it; with the old minExecChanCap floor gone, callers are
+// responsible for sizing cfg.ChanCap above the largest per-pair burst
+// (m*m words is always safe) or the simulated machine deadlocks. That
+// is precisely the crutch the batched engine removes — use RunExact
+// only as a differential oracle.
+func RunExact(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars map[string]float64,
+	iters int, cfg machine.Config, input ir.Storage) (Result, error) {
+
+	if err := validate(p, ss); err != nil {
+		return Result{}, err
+	}
+	if !p.Iterative {
+		iters = 1
+	}
+
+	nprocs := ss.Grid.Size()
+	locals := make([]ir.Storage, nprocs)
+	mach := machine.New(ss.Grid, cfg)
+
+	st, err := mach.Run(func(proc *machine.Proc) {
+		e := &engine{
+			p: p, ss: ss, bind: bind, scalars: scalars,
+			proc:     proc,
+			store:    ir.NewStorage(p),
+			partials: map[string]float64{},
+			pending:  map[string][]int{},
+		}
+		// Load owned (and replicated) elements from the input, free of
+		// charge: input distribution cost is measured separately by
+		// package data.
+		for name, elems := range input {
+			for key, v := range elems {
+				idx := parseKey(key)
+				if e.owns(name, idx) {
+					e.store[name][key] = v
+				}
+			}
+		}
+		for it := 0; it < iters; it++ {
+			for _, nest := range p.Nests {
+				e.runNest(nest)
+			}
+		}
+		locals[proc.Rank()] = e.store
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Assemble the global state: each element from its first owner.
+	out := ir.NewStorage(p)
+	for r := 0; r < nprocs; r++ {
+		for name, elems := range locals[r] {
+			for key, v := range elems {
+				if _, done := out[name][key]; !done {
+					out[name][key] = v
+				}
+			}
+		}
+	}
+	// The per-element engine is its own transport: one word per message.
+	return Result{Values: out, Stats: st, Transport: st}, nil
+}
+
+// engine is the per-processor interpreter state.
+type engine struct {
+	p       *ir.Program
+	ss      *core.SchemeSet
+	bind    map[string]int
+	scalars map[string]float64
+	proc    *machine.Proc
+	store   ir.Storage
+	// partials holds this processor's running partial sums for reduce
+	// statements, keyed by array!elem.
+	partials map[string]float64
+	// pending maps array!elem to the sorted contributor ranks whose
+	// partials have not been combined yet. Maintained identically at
+	// every processor (the walk is lockstep and deterministic).
+	pending map[string][]int
+}
+
+func (e *engine) owns(arr string, idx []int) bool {
+	return e.ss.Schemes[arr].IsOwner(e.ss.Grid, e.proc.Rank(), idx...)
+}
+
+func (e *engine) owners(arr string, idx []int) []int {
+	return e.ss.Schemes[arr].Owners(e.ss.Grid, idx...)
+}
+
+// runNest walks the nest's iteration space in lockstep with every other
+// processor, executing owned statement instances.
+func (e *engine) runNest(nest *ir.Nest) {
+	env := map[string]int{}
+	for k, v := range e.bind {
+		env[k] = v
+	}
+	var walk func(level int)
+	walk = func(level int) {
+		for _, stmt := range nest.Stmts {
+			if stmt.Depth == level && !nest.IsPost(stmt) {
+				e.instance(nest, stmt, env)
+			}
+		}
+		if level < len(nest.Loops) {
+			l := nest.Loops[level]
+			lo, hi := l.Lo.Eval(env), l.Hi.Eval(env)
+			if l.Step >= 0 {
+				for v := lo; v <= hi; v++ {
+					env[l.Index] = v
+					walk(level + 1)
+				}
+			} else {
+				for v := lo; v >= hi; v-- {
+					env[l.Index] = v
+					walk(level + 1)
+				}
+			}
+			delete(env, l.Index)
+		}
+		for _, stmt := range nest.Stmts {
+			if stmt.Depth == level && nest.IsPost(stmt) {
+				e.instance(nest, stmt, env)
+			}
+		}
+	}
+	walk(0)
+	// Combine any reductions still pending at nest end.
+	var keys []string
+	for k := range e.pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.finalize(k)
+	}
+}
+
+// instance executes one dynamic statement instance.
+func (e *engine) instance(nest *ir.Nest, stmt *ir.Stmt, env map[string]int) {
+	lhsIdx := make([]int, len(stmt.LHS.Subs))
+	for k, s := range stmt.LHS.Subs {
+		lhsIdx[k] = s.Eval(env)
+	}
+	lhsKey := pkey(stmt.LHS.Array, lhsIdx)
+
+	// Resolve read elements.
+	type readElem struct {
+		ref ir.Ref
+		idx []int
+		key string
+	}
+	var reads []readElem
+	for _, rd := range stmt.Reads {
+		idx := make([]int, len(rd.Subs))
+		for k, s := range rd.Subs {
+			idx[k] = s.Eval(env)
+		}
+		reads = append(reads, readElem{ref: rd, idx: idx, key: pkey(rd.Array, idx)})
+	}
+
+	// Any pending reduction read by this instance (other than the
+	// statement's own accumulator) must be combined first; a write to a
+	// pending element also forces combining.
+	for _, rd := range reads {
+		if stmt.Reduce && rd.key == lhsKey {
+			continue
+		}
+		if _, pend := e.pending[rd.key]; pend {
+			e.finalize(rd.key)
+		}
+	}
+	if _, pend := e.pending[lhsKey]; pend && !stmt.Reduce {
+		e.finalize(lhsKey)
+	}
+
+	// Executor set: anchor owners for reductions, LHS owners otherwise.
+	var executors []int
+	if stmt.Reduce {
+		anchor := anchorOf(stmt)
+		if anchor >= 0 {
+			executors = e.owners(reads[anchor].ref.Array, reads[anchor].idx)
+		} else {
+			executors = e.owners(stmt.LHS.Array, lhsIdx)
+		}
+	} else {
+		executors = e.owners(stmt.LHS.Array, lhsIdx)
+	}
+
+	// Ship remote operands: for each read element and each executor that
+	// lacks it, the element's first owner sends one word. (The reduce
+	// accumulator is never shipped; it lives in the partial store.)
+	values := map[string]float64{}
+	me := e.proc.Rank()
+	amExec := contains(executors, me)
+	for _, rd := range reads {
+		if stmt.Reduce && rd.key == lhsKey {
+			continue
+		}
+		owners := e.owners(rd.ref.Array, rd.idx)
+		src := owners[0]
+		for _, ex := range executors {
+			if contains(owners, ex) {
+				if ex == me {
+					values[rd.key] = e.store[rd.ref.Array][rd.key[len(rd.ref.Array)+1:]]
+				}
+				continue
+			}
+			switch me {
+			case src:
+				e.proc.SendValue(ex, e.store[rd.ref.Array][rd.key[len(rd.ref.Array)+1:]])
+			case ex:
+				values[rd.key] = e.proc.RecvValue(src)
+			}
+		}
+	}
+
+	if stmt.Reduce {
+		// Record the contributor (identically at every processor).
+		contrib := executors[0]
+		list := e.pending[lhsKey]
+		if len(list) == 0 || !contains(list, contrib) {
+			e.pending[lhsKey] = insertSorted(list, contrib)
+		}
+		if !amExec || me != contrib {
+			return
+		}
+		// Evaluate with the accumulator redirected to the partial store.
+		v := e.eval(stmt, env, values, lhsKey, true)
+		e.partials[lhsKey] = v
+		e.proc.Compute(stmt.Flops)
+		return
+	}
+
+	if !amExec {
+		return
+	}
+	v := e.eval(stmt, env, values, lhsKey, false)
+	if math.IsNaN(v) {
+		panic(fmt.Sprintf("exec: NaN at %s line %d", stmt.LHS, stmt.Line))
+	}
+	e.store[stmt.LHS.Array][lhsKey[len(stmt.LHS.Array)+1:]] = v
+	e.proc.Compute(stmt.Flops)
+}
+
+// eval evaluates a statement's RHS with remote values spliced in and,
+// for reductions, the accumulator read from the partial store.
+func (e *engine) eval(stmt *ir.Stmt, env map[string]int, remote map[string]float64, accKey string, reduce bool) float64 {
+	load := func(r ir.Ref, idx []int) float64 {
+		key := pkey(r.Array, idx)
+		if reduce && key == accKey {
+			return e.partials[accKey]
+		}
+		if v, ok := remote[key]; ok {
+			return v
+		}
+		return e.store[r.Array][key[len(r.Array)+1:]]
+	}
+	return stmt.RHS.Eval(env, load, e.scalars)
+}
+
+// finalize combines a pending reduction: contributors send their partials
+// to the accumulator's first owner, which folds them into the stored
+// value and redistributes the total to all owners.
+func (e *engine) finalize(key string) {
+	contribs := e.pending[key]
+	delete(e.pending, key)
+	arr, idx := splitKey(key)
+	owners := e.owners(arr, idx)
+	root := owners[0]
+	me := e.proc.Rank()
+	ekey := key[len(arr)+1:]
+
+	if me == root {
+		total := e.store[arr][ekey]
+		for _, c := range contribs {
+			var part float64
+			if c == root {
+				part = e.partials[key]
+			} else {
+				part = e.proc.RecvValue(c)
+			}
+			total += part
+			e.proc.Compute(1)
+		}
+		e.store[arr][ekey] = total
+		for _, o := range owners {
+			if o != root {
+				e.proc.SendValue(o, total)
+			}
+		}
+	} else {
+		if contains(contribs, me) {
+			e.proc.SendValue(root, e.partials[key])
+		}
+		if contains(owners, me) {
+			e.store[arr][ekey] = e.proc.RecvValue(root)
+		}
+	}
+	delete(e.partials, key)
+}

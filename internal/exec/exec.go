@@ -7,12 +7,19 @@
 // This is precisely the "naive" compilation the paper warns about — "A
 // naive compiler may generate a lot of OneToManyMulticast operations ...
 // It will certainly incur excessive communication overhead" (Section 6)
-// — made executable: every processor walks the full iteration space in
-// lockstep, the owner of each left-hand side evaluates the statement,
-// and every remote operand crosses the network as its own message. The
-// hand-pipelined kernels (package kernels) compute the same values; the
-// gap between exec's simulated makespan and theirs is the payoff of the
-// paper's optimizations, measured end to end.
+// — made executable. The naive COST MODEL is preserved exactly: Run
+// reports the simulated clocks, message counts and trace of an engine
+// that walks the full iteration space in lockstep on every processor
+// and ships every remote operand as its own one-word message
+// (RunExact, kept as the oracle). The TRANSPORT, however, is batched:
+// an inspector pass (schedule.go) walks each nest once per (nest,
+// env-binding), precomputes per processor pair the ordered element list
+// crossing the wire, and the executor (executor.go) moves each pair's
+// epoch traffic as one vectored Send. That makes Run deadlock-free at
+// ChanCap=1 by construction — the old minExecChanCap floor that pinned
+// every channel at 4096 words is gone, and Config.ChanCap is a genuine
+// backpressure knob again — while Result.Values and Result.Stats stay
+// byte-identical to RunExact.
 //
 // Reductions are handled the way a dataflow-correct naive backend must:
 // partial sums accumulate at the owners of the anchoring operand and are
@@ -23,8 +30,6 @@ package exec
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"dmcc/internal/core"
 	"dmcc/internal/ir"
@@ -35,416 +40,102 @@ import (
 type Result struct {
 	// Values is the final global state of every array.
 	Values ir.Storage
-	Stats  machine.Stats
+	// Stats is the naive cost model's outcome: the simulated clocks,
+	// flop/message/word counts (and trace events) of the per-element
+	// lockstep engine, identical between Run and RunExact.
+	Stats machine.Stats
+	// Transport is what actually crossed the simulated wire: for Run,
+	// the batched engine's vectored exchanges (far fewer messages, the
+	// same words, MaxMsgWords up to a full epoch block); for RunExact
+	// it equals Stats.
+	Transport machine.Stats
 }
 
-// minExecChanCap is the floor Run imposes on machine.Config.ChanCap.
-// The execution engine sends one message per remote element rather than
-// batching, and a processor may emit a full boundary row (m words, plus
-// reduction traffic) before its peer drains any of it; an undersized
-// channel then deadlocks the simulated machine rather than just slowing
-// it down. 4096 covers a boundary exchange at the largest sizes the
-// tests and sweeps run (m <= 4096). Callers wanting genuine
-// backpressure experiments must size ChanCap above this floor
-// explicitly.
-const minExecChanCap = 4096
-
-// Run executes the program under the scheme set for the given number of
-// outer iterations (ignored for non-iterative programs). input provides
-// the initial array contents; scalars binds free scalar names.
-func Run(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars map[string]float64,
-	iters int, cfg machine.Config, input ir.Storage) (Result, error) {
-
+// validate performs the shared pre-flight checks of both engines.
+func validate(p *ir.Program, ss *core.SchemeSet) error {
 	if err := p.Validate(); err != nil {
-		return Result{}, err
+		return err
 	}
 	for _, nest := range p.Nests {
 		for _, st := range nest.Stmts {
 			if st.RHS == nil && st.Flops > 0 {
-				return Result{}, fmt.Errorf("exec: statement at line %d has no executable RHS", st.Line)
+				return fmt.Errorf("exec: statement at line %d has no executable RHS", st.Line)
 			}
 		}
 	}
 	for name := range p.Arrays {
 		if _, ok := ss.Schemes[name]; !ok {
-			return Result{}, fmt.Errorf("exec: no scheme for array %s", name)
+			return fmt.Errorf("exec: no scheme for array %s", name)
 		}
+	}
+	return nil
+}
+
+// Run executes the program under the scheme set for the given number of
+// outer iterations (ignored for non-iterative programs). input provides
+// the initial array contents; scalars binds free scalar names.
+//
+// Communication is batched per (processor pair, epoch) via the
+// inspector/executor schedule of schedule.go; Run works at any
+// ChanCap >= 1. The reported Stats (and trace events, if cfg.Tracer is
+// set) are the naive per-element model's, bit-identical to RunExact;
+// the batched transport's own statistics are returned as
+// Result.Transport.
+func Run(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars map[string]float64,
+	iters int, cfg machine.Config, input ir.Storage) (Result, error) {
+
+	if err := validate(p, ss); err != nil {
+		return Result{}, err
 	}
 	if !p.Iterative {
 		iters = 1
 	}
-	if cfg.ChanCap < minExecChanCap {
-		cfg.ChanCap = minExecChanCap
-	}
 
-	nprocs := ss.Grid.Size()
-	locals := make([]ir.Storage, nprocs)
-	mach := machine.New(ss.Grid, cfg)
+	sched := buildSchedule(p, ss, bind)
+	nprocs := sched.nprocs
 
-	st, err := mach.Run(func(proc *machine.Proc) {
-		e := &engine{
-			p: p, ss: ss, bind: bind, scalars: scalars,
-			proc:     proc,
-			store:    ir.NewStorage(p),
-			partials: map[string]float64{},
-			pending:  map[string][]int{},
-		}
-		// Load owned (and replicated) elements from the input, free of
-		// charge: input distribution cost is measured separately by
-		// package data.
-		for name, elems := range input {
-			for key, v := range elems {
-				idx := parseKey(key)
-				if e.owns(name, idx) {
-					e.store[name][key] = v
-				}
-			}
-		}
+	// Value pass: the batched transport computes every array element.
+	// The tracer is stripped — trace events come from the naive-model
+	// replay below, so they describe the per-element schedule the Stats
+	// describe.
+	vcfg := cfg
+	vcfg.Tracer = nil
+	stores := make([][][]float64, nprocs)
+	marks := make([][][]bool, nprocs)
+	mach := machine.New(ss.Grid, vcfg)
+	transport, err := mach.Run(func(proc *machine.Proc) {
+		x := newValExec(sched, proc, scalars)
+		x.loadInput(input)
 		for it := 0; it < iters; it++ {
-			for _, nest := range p.Nests {
-				e.runNest(nest)
+			for _, ns := range sched.nests {
+				x.runNest(ns)
 			}
 		}
-		locals[proc.Rank()] = e.store
+		stores[x.me] = x.store
+		marks[x.me] = x.has
 	})
 	if err != nil {
 		return Result{}, err
 	}
 
+	// Timing pass: replay the per-element engine's event timeline
+	// single-threadedly. The naive cost model is value-independent, so
+	// this reproduces RunExact's Stats exactly.
+	stats := sched.replayStats(iters, cfg)
+
 	// Assemble the global state: each element from its first owner.
 	out := ir.NewStorage(p)
-	for r := 0; r < nprocs; r++ {
-		for name, elems := range locals[r] {
-			for key, v := range elems {
-				if _, done := out[name][key]; !done {
-					out[name][key] = v
+	for a, am := range sched.arrays {
+		elems := out[am.name]
+		for off := 0; off < am.size; off++ {
+			for r := 0; r < nprocs; r++ {
+				if marks[r][a][off] {
+					_, idx := sched.decode(mkElem(a, off))
+					elems[subKey(idx)] = stores[r][a][off]
+					break
 				}
 			}
 		}
 	}
-	return Result{Values: out, Stats: st}, nil
-}
-
-// engine is the per-processor interpreter state.
-type engine struct {
-	p       *ir.Program
-	ss      *core.SchemeSet
-	bind    map[string]int
-	scalars map[string]float64
-	proc    *machine.Proc
-	store   ir.Storage
-	// partials holds this processor's running partial sums for reduce
-	// statements, keyed by array!elem.
-	partials map[string]float64
-	// pending maps array!elem to the sorted contributor ranks whose
-	// partials have not been combined yet. Maintained identically at
-	// every processor (the walk is lockstep and deterministic).
-	pending map[string][]int
-}
-
-func pkey(arr string, idx []int) string {
-	s := arr + "!"
-	for i, v := range idx {
-		if i > 0 {
-			s += ","
-		}
-		s += fmt.Sprintf("%d", v)
-	}
-	return s
-}
-
-func parseKey(key string) []int {
-	var idx []int
-	cur := 0
-	neg := false
-	started := false
-	flush := func() {
-		if started {
-			if neg {
-				cur = -cur
-			}
-			idx = append(idx, cur)
-			cur, neg, started = 0, false, false
-		}
-	}
-	for i := 0; i < len(key); i++ {
-		switch c := key[i]; {
-		case c == ',':
-			flush()
-		case c == '-':
-			neg = true
-		default:
-			cur = cur*10 + int(c-'0')
-			started = true
-		}
-	}
-	flush()
-	return idx
-}
-
-func (e *engine) owns(arr string, idx []int) bool {
-	return e.ss.Schemes[arr].IsOwner(e.ss.Grid, e.proc.Rank(), idx...)
-}
-
-func (e *engine) owners(arr string, idx []int) []int {
-	return e.ss.Schemes[arr].Owners(e.ss.Grid, idx...)
-}
-
-// runNest walks the nest's iteration space in lockstep with every other
-// processor, executing owned statement instances.
-func (e *engine) runNest(nest *ir.Nest) {
-	env := map[string]int{}
-	for k, v := range e.bind {
-		env[k] = v
-	}
-	var walk func(level int)
-	walk = func(level int) {
-		for _, stmt := range nest.Stmts {
-			if stmt.Depth == level && !nest.IsPost(stmt) {
-				e.instance(nest, stmt, env)
-			}
-		}
-		if level < len(nest.Loops) {
-			l := nest.Loops[level]
-			lo, hi := l.Lo.Eval(env), l.Hi.Eval(env)
-			if l.Step >= 0 {
-				for v := lo; v <= hi; v++ {
-					env[l.Index] = v
-					walk(level + 1)
-				}
-			} else {
-				for v := lo; v >= hi; v-- {
-					env[l.Index] = v
-					walk(level + 1)
-				}
-			}
-			delete(env, l.Index)
-		}
-		for _, stmt := range nest.Stmts {
-			if stmt.Depth == level && nest.IsPost(stmt) {
-				e.instance(nest, stmt, env)
-			}
-		}
-	}
-	walk(0)
-	// Combine any reductions still pending at nest end.
-	var keys []string
-	for k := range e.pending {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		e.finalize(k)
-	}
-}
-
-// instance executes one dynamic statement instance.
-func (e *engine) instance(nest *ir.Nest, stmt *ir.Stmt, env map[string]int) {
-	lhsIdx := make([]int, len(stmt.LHS.Subs))
-	for k, s := range stmt.LHS.Subs {
-		lhsIdx[k] = s.Eval(env)
-	}
-	lhsKey := pkey(stmt.LHS.Array, lhsIdx)
-
-	// Resolve read elements.
-	type readElem struct {
-		ref ir.Ref
-		idx []int
-		key string
-	}
-	var reads []readElem
-	for _, rd := range stmt.Reads {
-		idx := make([]int, len(rd.Subs))
-		for k, s := range rd.Subs {
-			idx[k] = s.Eval(env)
-		}
-		reads = append(reads, readElem{ref: rd, idx: idx, key: pkey(rd.Array, idx)})
-	}
-
-	// Any pending reduction read by this instance (other than the
-	// statement's own accumulator) must be combined first; a write to a
-	// pending element also forces combining.
-	for _, rd := range reads {
-		if stmt.Reduce && rd.key == lhsKey {
-			continue
-		}
-		if _, pend := e.pending[rd.key]; pend {
-			e.finalize(rd.key)
-		}
-	}
-	if _, pend := e.pending[lhsKey]; pend && !stmt.Reduce {
-		e.finalize(lhsKey)
-	}
-
-	// Executor set: anchor owners for reductions, LHS owners otherwise.
-	var executors []int
-	if stmt.Reduce {
-		anchor := anchorOf(stmt)
-		if anchor >= 0 {
-			executors = e.owners(reads[anchor].ref.Array, reads[anchor].idx)
-		} else {
-			executors = e.owners(stmt.LHS.Array, lhsIdx)
-		}
-	} else {
-		executors = e.owners(stmt.LHS.Array, lhsIdx)
-	}
-
-	// Ship remote operands: for each read element and each executor that
-	// lacks it, the element's first owner sends one word. (The reduce
-	// accumulator is never shipped; it lives in the partial store.)
-	values := map[string]float64{}
-	me := e.proc.Rank()
-	amExec := contains(executors, me)
-	for _, rd := range reads {
-		if stmt.Reduce && rd.key == lhsKey {
-			continue
-		}
-		owners := e.owners(rd.ref.Array, rd.idx)
-		src := owners[0]
-		for _, ex := range executors {
-			if contains(owners, ex) {
-				if ex == me {
-					values[rd.key] = e.store[rd.ref.Array][rd.key[len(rd.ref.Array)+1:]]
-				}
-				continue
-			}
-			switch me {
-			case src:
-				e.proc.SendValue(ex, e.store[rd.ref.Array][rd.key[len(rd.ref.Array)+1:]])
-			case ex:
-				values[rd.key] = e.proc.RecvValue(src)
-			}
-		}
-	}
-
-	if stmt.Reduce {
-		// Record the contributor (identically at every processor).
-		contrib := executors[0]
-		list := e.pending[lhsKey]
-		if len(list) == 0 || !contains(list, contrib) {
-			e.pending[lhsKey] = insertSorted(list, contrib)
-		}
-		if !amExec || me != contrib {
-			return
-		}
-		// Evaluate with the accumulator redirected to the partial store.
-		v := e.eval(stmt, env, values, lhsKey, true)
-		e.partials[lhsKey] = v
-		e.proc.Compute(stmt.Flops)
-		return
-	}
-
-	if !amExec {
-		return
-	}
-	v := e.eval(stmt, env, values, lhsKey, false)
-	if math.IsNaN(v) {
-		panic(fmt.Sprintf("exec: NaN at %s line %d", stmt.LHS, stmt.Line))
-	}
-	e.store[stmt.LHS.Array][lhsKey[len(stmt.LHS.Array)+1:]] = v
-	e.proc.Compute(stmt.Flops)
-}
-
-// eval evaluates a statement's RHS with remote values spliced in and,
-// for reductions, the accumulator read from the partial store.
-func (e *engine) eval(stmt *ir.Stmt, env map[string]int, remote map[string]float64, accKey string, reduce bool) float64 {
-	load := func(r ir.Ref, idx []int) float64 {
-		key := pkey(r.Array, idx)
-		if reduce && key == accKey {
-			return e.partials[accKey]
-		}
-		if v, ok := remote[key]; ok {
-			return v
-		}
-		return e.store[r.Array][key[len(r.Array)+1:]]
-	}
-	return stmt.RHS.Eval(env, load, e.scalars)
-}
-
-// finalize combines a pending reduction: contributors send their partials
-// to the accumulator's first owner, which folds them into the stored
-// value and redistributes the total to all owners.
-func (e *engine) finalize(key string) {
-	contribs := e.pending[key]
-	delete(e.pending, key)
-	arr, idx := splitKey(key)
-	owners := e.owners(arr, idx)
-	root := owners[0]
-	me := e.proc.Rank()
-	ekey := key[len(arr)+1:]
-
-	if me == root {
-		total := e.store[arr][ekey]
-		for _, c := range contribs {
-			var part float64
-			if c == root {
-				part = e.partials[key]
-			} else {
-				part = e.proc.RecvValue(c)
-			}
-			total += part
-			e.proc.Compute(1)
-		}
-		e.store[arr][ekey] = total
-		for _, o := range owners {
-			if o != root {
-				e.proc.SendValue(o, total)
-			}
-		}
-	} else {
-		if contains(contribs, me) {
-			e.proc.SendValue(root, e.partials[key])
-		}
-		if contains(owners, me) {
-			e.store[arr][ekey] = e.proc.RecvValue(root)
-		}
-	}
-	delete(e.partials, key)
-}
-
-func splitKey(key string) (string, []int) {
-	for i := 0; i < len(key); i++ {
-		if key[i] == '!' {
-			return key[:i], parseKey(key[i+1:])
-		}
-	}
-	panic("exec: malformed element key " + key)
-}
-
-// anchorOf picks the reduction anchor read (most distinct subscript
-// variables, excluding the accumulator), mirroring cost.CountNest.
-func anchorOf(stmt *ir.Stmt) int {
-	best, bestVars := -1, -1
-	for i, rd := range stmt.Reads {
-		if rd.Array == stmt.LHS.Array {
-			continue
-		}
-		vars := map[string]bool{}
-		for _, s := range rd.Subs {
-			for _, v := range s.Vars() {
-				vars[v] = true
-			}
-		}
-		if len(vars) > bestVars {
-			best, bestVars = i, len(vars)
-		}
-	}
-	return best
-}
-
-func contains(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-func insertSorted(xs []int, v int) []int {
-	i := sort.SearchInts(xs, v)
-	xs = append(xs, 0)
-	copy(xs[i+1:], xs[i:])
-	xs[i] = v
-	return xs
+	return Result{Values: out, Stats: stats, Transport: transport}, nil
 }

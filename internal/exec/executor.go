@@ -1,0 +1,222 @@
+// The executor half of the batched engine: each processor runs its
+// precomputed instruction stream (schedule.go) against dense per-array
+// stores, exchanging each epoch's traffic as one vectored machine.Send
+// per processor pair. All per-instance map and slice state of the old
+// engine is pooled here: the stream is allocated once by the inspector
+// and the executor reuses its scratch buffers across instances.
+
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"dmcc/internal/ir"
+	"dmcc/internal/machine"
+)
+
+// valExec is one processor's value-pass state.
+type valExec struct {
+	s       *progSchedule
+	proc    *machine.Proc
+	me      int
+	scalars map[string]float64
+	// store/has are the dense per-array local stores; has marks
+	// elements this processor actually wrote or received, for the
+	// first-owner result assembly.
+	store [][]float64
+	has   [][]bool
+	// partials holds running partial sums of reduce statements.
+	partials map[elemID]float64
+	// bufs[src] is the current epoch's vectored buffer from src, with a
+	// consumption cursor.
+	bufs []vbuf
+	// env is the reusable loop binding for RHS evaluation.
+	env    map[string]int
+	loadFn func(ir.Ref, []int) float64
+	// current eval context for loadFn.
+	curSlots  []slot
+	curVals   []float64
+	curReduce bool
+	curAcc    elemID
+	// gather is the vectored-send scratch (machine.Send copies).
+	gather []machine.Word
+}
+
+type vbuf struct {
+	data []machine.Word
+	pos  int
+}
+
+func newValExec(s *progSchedule, proc *machine.Proc, scalars map[string]float64) *valExec {
+	x := &valExec{
+		s: s, proc: proc, me: proc.Rank(), scalars: scalars,
+		store:    make([][]float64, len(s.arrays)),
+		has:      make([][]bool, len(s.arrays)),
+		partials: make(map[elemID]float64),
+		bufs:     make([]vbuf, s.nprocs),
+		env:      bindEnv(s.bind),
+		curVals:  make([]float64, 0, 8),
+	}
+	for a, am := range s.arrays {
+		x.store[a] = make([]float64, am.size)
+		x.has[a] = make([]bool, am.size)
+	}
+	x.loadFn = x.load
+	return x
+}
+
+// loadInput installs the owned (and replicated) slice of the initial
+// array contents, free of charge (input distribution cost is measured
+// separately by package data).
+func (x *valExec) loadInput(input ir.Storage) {
+	for name, elems := range input {
+		sch, ok := x.s.ss.Schemes[name]
+		if !ok {
+			continue
+		}
+		for key, v := range elems {
+			idx := parseKey(key)
+			if sch.IsOwner(x.s.ss.Grid, x.me, idx...) {
+				e := x.s.elemOf(name, idx)
+				x.store[e.arr()][e.off()] = v
+				x.has[e.arr()][e.off()] = true
+			}
+		}
+	}
+}
+
+func (x *valExec) loadElem(e elemID) float64 { return x.store[e.arr()][e.off()] }
+
+func (x *valExec) storeElem(e elemID, v float64) {
+	x.store[e.arr()][e.off()] = v
+	x.has[e.arr()][e.off()] = true
+}
+
+// load resolves one RHS operand: the redirected reduce accumulator,
+// then received remote slots (matched by element, like the old values
+// map), then the local dense store (zero for never-written elements,
+// matching the old map's default).
+func (x *valExec) load(r ir.Ref, idx []int) float64 {
+	e := x.s.elemOf(r.Array, idx)
+	if x.curReduce && e == x.curAcc {
+		return x.partials[e]
+	}
+	for i := range x.curSlots {
+		if x.curSlots[i].elem == e {
+			return x.curVals[i]
+		}
+	}
+	return x.loadElem(e)
+}
+
+// runNest executes this processor's instruction stream for one nest.
+func (x *valExec) runNest(ns *nestSchedule) {
+	stream := ns.procs[x.me]
+	for i := range stream {
+		in := &stream[i]
+		switch in.op {
+		case opFlush:
+			f := in.flush
+			for _, snd := range f.sends {
+				x.gather = x.gather[:0]
+				for _, e := range snd.elems {
+					x.gather = append(x.gather, x.loadElem(e))
+				}
+				x.proc.Send(int(snd.dst), x.gather)
+			}
+			for _, rcv := range f.recvs {
+				b := &x.bufs[rcv.src]
+				if b.pos != len(b.data) {
+					panic(fmt.Sprintf("exec: vectored buffer from %d not drained (%d of %d words)", rcv.src, b.pos, len(b.data)))
+				}
+				data := x.proc.Recv(int(rcv.src))
+				if len(data) != rcv.n {
+					panic(fmt.Sprintf("exec: vectored exchange from %d expected %d words, got %d", rcv.src, rcv.n, len(data)))
+				}
+				b.data, b.pos = data, 0
+			}
+		case opSendDirect:
+			x.proc.SendValue(int(in.dst), x.loadElem(in.elem))
+		case opFin:
+			x.finalize(in.fin)
+		case opEval:
+			x.eval(ns, in)
+		}
+	}
+}
+
+// eval receives the instance's remote operands (buffer pops and direct
+// one-word messages, in the shared global order) and, unless this
+// processor is a receive-only replica of a reduction, evaluates the
+// statement.
+func (x *valExec) eval(ns *nestSchedule, in *pinstr) {
+	x.curVals = x.curVals[:0]
+	for _, sl := range in.slots {
+		var v float64
+		if sl.direct {
+			v = x.proc.RecvValue(int(sl.src))
+		} else {
+			b := &x.bufs[sl.src]
+			if b.pos >= len(b.data) {
+				panic(fmt.Sprintf("exec: vectored buffer from %d underflow", sl.src))
+			}
+			v = b.data[b.pos]
+			b.pos++
+		}
+		x.curVals = append(x.curVals, v)
+	}
+	if in.role == roleRecvOnly {
+		return
+	}
+	stmt := ns.nest.Stmts[in.stmt]
+	for k := 0; k < len(in.env); k++ {
+		x.env[ns.loopIdx[k]] = int(in.env[k])
+	}
+	x.curSlots = in.slots
+	x.curReduce = in.role == roleReduce
+	x.curAcc = in.elem
+	v := stmt.RHS.Eval(x.env, x.loadFn, x.scalars)
+	if in.role == roleReduce {
+		x.partials[in.elem] = v
+	} else {
+		if math.IsNaN(v) {
+			panic(fmt.Sprintf("exec: NaN at %s line %d", stmt.LHS, stmt.Line))
+		}
+		x.storeElem(in.elem, v)
+	}
+	x.proc.Compute(stmt.Flops)
+}
+
+// finalize mirrors engine.finalize on the batched transport: the
+// contributors' partials fold into the root owner's stored value in
+// contributor order, and the total fans out to the remaining owners.
+func (x *valExec) finalize(f *finOp) {
+	if x.me == f.root {
+		total := x.loadElem(f.elem)
+		for _, c := range f.contribs {
+			var part float64
+			if c == f.root {
+				part = x.partials[f.elem]
+			} else {
+				part = x.proc.RecvValue(c)
+			}
+			total += part
+			x.proc.Compute(1)
+		}
+		x.storeElem(f.elem, total)
+		for _, o := range f.owners {
+			if o != f.root {
+				x.proc.SendValue(o, total)
+			}
+		}
+	} else {
+		if contains(f.contribs, x.me) {
+			x.proc.SendValue(f.root, x.partials[f.elem])
+		}
+		if contains(f.owners, x.me) {
+			x.storeElem(f.elem, x.proc.RecvValue(f.root))
+		}
+	}
+	delete(x.partials, f.elem)
+}

@@ -1,0 +1,674 @@
+// The inspector half of the batched execution engine.
+//
+// buildSchedule walks each nest's iteration space exactly once per
+// (nest, env-binding) — not once per processor per iteration like the
+// per-element engine — and precomputes, for every ordered processor
+// pair, the element list crossing the wire. The walk is cut into
+// epochs: within an epoch no shipped element is written, so all of an
+// epoch's pair traffic can be hoisted to the epoch boundary and sent as
+// one vectored machine.Send per pair (the inspector/executor move of
+// Li & Chen's communication-set generation; message vectorization in
+// the Gupta & Banerjee lineage). Two artifacts come out of the walk:
+//
+//   - per-processor instruction streams (flush / direct-send /
+//     finalize / eval) that the value executor (executor.go) runs with
+//     batched communication, deadlock-free at ChanCap=1: every epoch
+//     exchanges at most one vectored message per ordered pair, every
+//     processor sends its vectors before receiving any, and all
+//     per-element residual traffic follows one global order shared by
+//     all processors;
+//
+//   - a timeline of the per-element engine's communication and
+//     computation events, in its exact global lockstep order. The
+//     naive cost model is value-independent — simulated clocks depend
+//     only on the event schedule, never on the data — so replayStats
+//     re-derives the per-element engine's Stats (clocks, messages,
+//     words, flops, trace events) bit for bit without moving a single
+//     per-element message.
+//
+// The hot path works on elemID integers (array id + row-major offset);
+// the "arr!i,j" strings survive only at the ir.Storage boundary and in
+// the nest-end finalize ordering, which sorts by the legacy string key
+// to stay byte-identical with RunExact.
+
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"dmcc/internal/core"
+	"dmcc/internal/ir"
+	"dmcc/internal/machine"
+)
+
+// elemID packs (array id, 0-based row-major element offset) into one
+// integer — the hot-path replacement for pkey strings.
+type elemID int64
+
+const elemOffBits = 40
+
+func mkElem(a, off int) elemID { return elemID(int64(a)<<elemOffBits | int64(off)) }
+func (e elemID) arr() int      { return int(int64(e) >> elemOffBits) }
+func (e elemID) off() int      { return int(int64(e) & (1<<elemOffBits - 1)) }
+
+// arrayMeta is one array's dense layout: extents evaluated under the
+// binding, row-major, subscripts 1-based.
+type arrayMeta struct {
+	name string
+	ext  []int
+	size int
+}
+
+// progSchedule is the complete precomputed schedule of one Run call.
+type progSchedule struct {
+	p      *ir.Program
+	ss     *core.SchemeSet
+	bind   map[string]int
+	nprocs int
+	arrays []arrayMeta
+	aid    map[string]int
+	// ocache memoizes dist.Scheme.Owners per element: the per-element
+	// engine recomputed it for every (instance, read, executor) visit.
+	ocache map[elemID][]int
+	nests  []*nestSchedule
+}
+
+// nestSchedule is one nest's schedule, built once and replayed for
+// every outer iteration (the binding, and hence the walk, is identical
+// across iterations).
+type nestSchedule struct {
+	nest    *ir.Nest
+	loopIdx []string
+	// timeline is the per-element engine's global event order.
+	timeline []top
+	// procs[r] is processor r's value-pass instruction stream.
+	procs [][]pinstr
+}
+
+// top is one timeline event of the naive model: a one-word transfer or
+// a local computation.
+type top struct {
+	kind uint8
+	a, b int32 // xfer: src, dst; compute: proc, flops
+}
+
+const (
+	tXfer uint8 = iota
+	tCompute
+)
+
+// pinstr is one value-pass instruction of one processor.
+type pinstr struct {
+	op    uint8
+	role  uint8
+	stmt  int32
+	dst   int32 // opSendDirect: receiver rank
+	elem  elemID
+	env   []int32
+	slots []slot
+	flush *flushOp
+	fin   *finOp
+}
+
+const (
+	// opFlush exchanges the epoch's vectored messages (sends first,
+	// then receives).
+	opFlush uint8 = iota
+	// opSendDirect ships one element that was finalized earlier in the
+	// same epoch, so its value postdates the epoch-boundary gather.
+	opSendDirect
+	// opFin combines a pending reduction (finalize).
+	opFin
+	// opEval receives this processor's remote operands and, unless the
+	// role is roleRecvOnly, evaluates the statement instance.
+	opEval
+)
+
+const (
+	roleWrite uint8 = iota
+	roleReduce
+	roleRecvOnly
+)
+
+// slot is one remote operand of an eval: either the next word of the
+// vectored buffer from src, or (direct) a dedicated one-word message.
+type slot struct {
+	src    int32
+	elem   elemID
+	direct bool
+}
+
+type flushOp struct {
+	sends []flushSend
+	recvs []flushRecv
+}
+
+type flushSend struct {
+	dst   int32
+	elems []elemID
+}
+
+type flushRecv struct {
+	src int32
+	n   int
+}
+
+type finOp struct {
+	elem     elemID
+	contribs []int
+	owners   []int
+	root     int
+}
+
+// buildSchedule runs the inspector over the whole program.
+func buildSchedule(p *ir.Program, ss *core.SchemeSet, bind map[string]int) *progSchedule {
+	s := &progSchedule{
+		p: p, ss: ss, bind: bind,
+		nprocs: ss.Grid.Size(),
+		aid:    make(map[string]int, len(p.Arrays)),
+		ocache: make(map[elemID][]int),
+	}
+	names := make([]string, 0, len(p.Arrays))
+	for name := range p.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	env := bindEnv(bind)
+	for _, name := range names {
+		arr := p.Arrays[name]
+		am := arrayMeta{name: name, ext: make([]int, arr.Rank()), size: 1}
+		for d, e := range arr.Extents {
+			am.ext[d] = e.Eval(env)
+			am.size *= am.ext[d]
+		}
+		s.aid[name] = len(s.arrays)
+		s.arrays = append(s.arrays, am)
+	}
+	s.nests = make([]*nestSchedule, len(p.Nests))
+	for i, nest := range p.Nests {
+		s.nests[i] = s.buildNest(nest)
+	}
+	return s
+}
+
+func bindEnv(bind map[string]int) map[string]int {
+	env := make(map[string]int, len(bind)+4)
+	for k, v := range bind {
+		env[k] = v
+	}
+	return env
+}
+
+// elemOf maps a subscripted reference to its element id, with the
+// 1-based subscripts checked against the declared extents (the dense
+// stores cannot absorb out-of-range elements the way the old string
+// maps silently did).
+func (s *progSchedule) elemOf(name string, idx []int) elemID {
+	a, ok := s.aid[name]
+	if !ok {
+		panic(fmt.Sprintf("exec: reference to undeclared array %s", name))
+	}
+	am := &s.arrays[a]
+	off := 0
+	for d, v := range idx {
+		if v < 1 || v > am.ext[d] {
+			panic(fmt.Sprintf("exec: %s subscript %v outside extents %v", name, idx, am.ext))
+		}
+		off = off*am.ext[d] + (v - 1)
+	}
+	return mkElem(a, off)
+}
+
+// decode is elemOf's inverse, used only at the ir.Storage boundary and
+// for the nest-end finalize ordering.
+func (s *progSchedule) decode(e elemID) (string, []int) {
+	am := &s.arrays[e.arr()]
+	idx := make([]int, len(am.ext))
+	off := e.off()
+	for d := len(am.ext) - 1; d >= 0; d-- {
+		idx[d] = off%am.ext[d] + 1
+		off /= am.ext[d]
+	}
+	return am.name, idx
+}
+
+// ownersOf memoizes the owner set of an element.
+func (s *progSchedule) ownersOf(e elemID, name string, idx []int) []int {
+	if o, ok := s.ocache[e]; ok {
+		return o
+	}
+	o := s.ss.Schemes[name].Owners(s.ss.Grid, idx...)
+	s.ocache[e] = o
+	return o
+}
+
+// nestBuilder is the inspector's per-nest state.
+type nestBuilder struct {
+	s  *progSchedule
+	ns *nestSchedule
+	// env is the inspector's loop binding, maintained exactly like the
+	// per-element engine's.
+	env map[string]int
+	// pending maps a reduction accumulator to its sorted contributor
+	// ranks, mirroring engine.pending (globally, not per processor).
+	pending map[elemID][]int
+	pendIdx map[elemID][]int
+	// written marks elements written earlier in the current epoch; a
+	// batched ship of such an element would gather a stale value at the
+	// epoch boundary, so it either cuts the epoch (write from an
+	// earlier instance) or degrades to a direct send (write by this
+	// instance's own finalizes, which no cut can hoist past).
+	written map[elemID]bool
+	// cur accumulates the current epoch's per-processor instructions;
+	// pairs the epoch's per-pair vectored element lists.
+	cur   [][]pinstr
+	pairs map[int64][]elemID
+	// scratch
+	lhsIdx  []int
+	readIdx [][]int
+	ships   []shipT
+	exSlots [][]slot
+}
+
+type shipT struct {
+	ri  int
+	src int32
+	ex  int32
+	e   elemID
+}
+
+func pairKey(src, dst int32) int64 { return int64(src)<<32 | int64(dst) }
+
+func (s *progSchedule) buildNest(nest *ir.Nest) *nestSchedule {
+	ns := &nestSchedule{
+		nest:    nest,
+		loopIdx: nest.LoopIndices(),
+		procs:   make([][]pinstr, s.nprocs),
+	}
+	b := &nestBuilder{
+		s: s, ns: ns,
+		env:     bindEnv(s.bind),
+		pending: make(map[elemID][]int),
+		pendIdx: make(map[elemID][]int),
+		written: make(map[elemID]bool),
+		cur:     make([][]pinstr, s.nprocs),
+		pairs:   make(map[int64][]elemID),
+	}
+	var walk func(level int)
+	walk = func(level int) {
+		for si, stmt := range nest.Stmts {
+			if stmt.Depth == level && !nest.IsPost(stmt) {
+				b.instance(si, stmt)
+			}
+		}
+		if level < len(nest.Loops) {
+			l := nest.Loops[level]
+			lo, hi := l.Lo.Eval(b.env), l.Hi.Eval(b.env)
+			if l.Step >= 0 {
+				for v := lo; v <= hi; v++ {
+					b.env[l.Index] = v
+					walk(level + 1)
+				}
+			} else {
+				for v := lo; v >= hi; v-- {
+					b.env[l.Index] = v
+					walk(level + 1)
+				}
+			}
+			delete(b.env, l.Index)
+		}
+		for si, stmt := range nest.Stmts {
+			if stmt.Depth == level && nest.IsPost(stmt) {
+				b.instance(si, stmt)
+			}
+		}
+	}
+	walk(0)
+	// Combine reductions still pending at nest end, in the legacy
+	// string-key order the per-element engine uses (sort.Strings over
+	// pkeys), so the event sequence stays byte-identical.
+	type pend struct {
+		key string
+		e   elemID
+	}
+	var keys []pend
+	for e := range b.pending {
+		name, idx := s.decode(e)
+		keys = append(keys, pend{pkey(name, idx), e})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key < keys[j].key })
+	for _, k := range keys {
+		b.emitFinalize(k.e)
+	}
+	b.closeEpoch()
+	return ns
+}
+
+// instance inspects one dynamic statement instance, appending its
+// events to the timeline and its work to the per-processor streams.
+// The decomposition (forced finalizes, executor set, ship list,
+// pending bookkeeping, evaluation) replicates engine.instance exactly.
+func (b *nestBuilder) instance(si int, stmt *ir.Stmt) {
+	s := b.s
+
+	// Resolve the written element and the read elements.
+	b.lhsIdx = evalSubs(b.lhsIdx[:0], stmt.LHS.Subs, b.env)
+	lhsElem := s.elemOf(stmt.LHS.Array, b.lhsIdx)
+	for len(b.readIdx) < len(stmt.Reads) {
+		b.readIdx = append(b.readIdx, nil)
+	}
+	readElem := make([]elemID, len(stmt.Reads))
+	for ri, rd := range stmt.Reads {
+		b.readIdx[ri] = evalSubs(b.readIdx[ri][:0], rd.Subs, b.env)
+		readElem[ri] = s.elemOf(rd.Array, b.readIdx[ri])
+	}
+
+	// Executor set: anchor owners for reductions, LHS owners otherwise.
+	var executors []int
+	if stmt.Reduce {
+		if anchor := anchorOf(stmt); anchor >= 0 {
+			executors = s.ownersOf(readElem[anchor], stmt.Reads[anchor].Array, b.readIdx[anchor])
+		} else {
+			executors = s.ownersOf(lhsElem, stmt.LHS.Array, b.lhsIdx)
+		}
+	} else {
+		executors = s.ownersOf(lhsElem, stmt.LHS.Array, b.lhsIdx)
+	}
+
+	// Ship list: one word from the element's first owner to every
+	// executor that lacks it. (The reduce accumulator is never shipped;
+	// executors that own the element read their local copy.)
+	b.ships = b.ships[:0]
+	for ri, rd := range stmt.Reads {
+		e := readElem[ri]
+		if stmt.Reduce && e == lhsElem {
+			continue
+		}
+		owners := s.ownersOf(e, rd.Array, b.readIdx[ri])
+		src := owners[0]
+		for _, ex := range executors {
+			if contains(owners, ex) {
+				continue
+			}
+			b.ships = append(b.ships, shipT{ri: ri, src: int32(src), ex: int32(ex), e: e})
+		}
+	}
+
+	// Epoch cut: a shipped element written by an earlier instance of
+	// this epoch would be gathered stale at the epoch boundary, so the
+	// boundary moves here, before this whole instance.
+	for _, sh := range b.ships {
+		if b.written[sh.e] {
+			b.closeEpoch()
+			break
+		}
+	}
+
+	// Forced finalizes: any pending reduction read by this instance
+	// (other than its own accumulator), then a non-reduce write to a
+	// pending element.
+	for ri := range stmt.Reads {
+		e := readElem[ri]
+		if stmt.Reduce && e == lhsElem {
+			continue
+		}
+		if _, pend := b.pending[e]; pend {
+			b.emitFinalize(e)
+		}
+	}
+	if _, pend := b.pending[lhsElem]; pend && !stmt.Reduce {
+		b.emitFinalize(lhsElem)
+	}
+
+	// Emit the ships: timeline events in the global lockstep order, and
+	// either an epoch-batched pair entry or — for elements this
+	// instance's own finalizes just wrote — a residual direct send.
+	for len(b.exSlots) < len(executors) {
+		b.exSlots = append(b.exSlots, nil)
+	}
+	for xi := range executors {
+		b.exSlots[xi] = b.exSlots[xi][:0]
+	}
+	for _, sh := range b.ships {
+		b.ns.timeline = append(b.ns.timeline, top{kind: tXfer, a: sh.src, b: sh.ex})
+		xi := indexOf(executors, int(sh.ex))
+		if b.written[sh.e] {
+			b.cur[sh.src] = append(b.cur[sh.src], pinstr{op: opSendDirect, dst: sh.ex, elem: sh.e})
+			b.exSlots[xi] = append(b.exSlots[xi], slot{src: sh.src, elem: sh.e, direct: true})
+		} else {
+			k := pairKey(sh.src, sh.ex)
+			b.pairs[k] = append(b.pairs[k], sh.e)
+			b.exSlots[xi] = append(b.exSlots[xi], slot{src: sh.src, elem: sh.e})
+		}
+	}
+
+	env := make([]int32, stmt.Depth)
+	for k := 0; k < stmt.Depth; k++ {
+		env[k] = int32(b.env[b.ns.loopIdx[k]])
+	}
+
+	if stmt.Reduce {
+		// Record the contributor; only it evaluates (into its partial
+		// store), but every executor still receives its shipped
+		// operands, exactly like the per-element engine.
+		contrib := executors[0]
+		list := b.pending[lhsElem]
+		if len(list) == 0 || !contains(list, contrib) {
+			b.pending[lhsElem] = insertSorted(list, contrib)
+			b.pendIdx[lhsElem] = append([]int(nil), b.lhsIdx...)
+		}
+		for xi, ex := range executors {
+			if ex == contrib {
+				b.cur[ex] = append(b.cur[ex], pinstr{
+					op: opEval, role: roleReduce, stmt: int32(si), elem: lhsElem,
+					env: env, slots: copySlots(b.exSlots[xi]),
+				})
+			} else if len(b.exSlots[xi]) > 0 {
+				b.cur[ex] = append(b.cur[ex], pinstr{
+					op: opEval, role: roleRecvOnly, slots: copySlots(b.exSlots[xi]),
+				})
+			}
+		}
+		b.ns.timeline = append(b.ns.timeline, top{kind: tCompute, a: int32(contrib), b: int32(stmt.Flops)})
+		return
+	}
+
+	for xi, ex := range executors {
+		b.cur[ex] = append(b.cur[ex], pinstr{
+			op: opEval, role: roleWrite, stmt: int32(si), elem: lhsElem,
+			env: env, slots: copySlots(b.exSlots[xi]),
+		})
+		b.ns.timeline = append(b.ns.timeline, top{kind: tCompute, a: int32(ex), b: int32(stmt.Flops)})
+	}
+	b.written[lhsElem] = true
+}
+
+// emitFinalize combines a pending reduction: contributors send their
+// partials to the accumulator's first owner, which folds them in
+// contributor order and redistributes the total to the other owners.
+func (b *nestBuilder) emitFinalize(e elemID) {
+	contribs := b.pending[e]
+	idx := b.pendIdx[e]
+	delete(b.pending, e)
+	delete(b.pendIdx, e)
+	name, _ := b.s.decode(e)
+	owners := b.s.ownersOf(e, name, idx)
+	root := owners[0]
+
+	for _, c := range contribs {
+		if c != root {
+			b.ns.timeline = append(b.ns.timeline, top{kind: tXfer, a: int32(c), b: int32(root)})
+		}
+		b.ns.timeline = append(b.ns.timeline, top{kind: tCompute, a: int32(root), b: 1})
+	}
+	for _, o := range owners {
+		if o != root {
+			b.ns.timeline = append(b.ns.timeline, top{kind: tXfer, a: int32(root), b: int32(o)})
+		}
+	}
+
+	f := &finOp{elem: e, contribs: contribs, owners: owners, root: root}
+	in := pinstr{op: opFin, fin: f}
+	b.cur[root] = append(b.cur[root], in)
+	for _, c := range contribs {
+		if c != root {
+			b.cur[c] = append(b.cur[c], in)
+		}
+	}
+	for _, o := range owners {
+		if o != root && !contains(contribs, o) {
+			b.cur[o] = append(b.cur[o], in)
+		}
+	}
+	b.written[e] = true
+}
+
+// closeEpoch freezes the current epoch: every processor's vectored
+// exchange (sends in ascending destination order, then receives in
+// ascending source order) is prepended to its epoch instructions, and
+// the written set resets. At most one message crosses each ordered
+// pair per epoch and every processor sends before it receives, which
+// is what makes the value pass deadlock-free at ChanCap=1.
+func (b *nestBuilder) closeEpoch() {
+	if len(b.pairs) > 0 {
+		keys := make([]int64, 0, len(b.pairs))
+		for k := range b.pairs {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		flushes := make(map[int32]*flushOp)
+		get := func(p int32) *flushOp {
+			f := flushes[p]
+			if f == nil {
+				f = &flushOp{}
+				flushes[p] = f
+			}
+			return f
+		}
+		// keys sorted by (src, dst): per-src send lists come out in
+		// ascending destination order.
+		for _, k := range keys {
+			src, dst := int32(k>>32), int32(k&0xffffffff)
+			get(src).sends = append(get(src).sends, flushSend{dst: dst, elems: b.pairs[k]})
+		}
+		// Receive lists in ascending source order.
+		sort.Slice(keys, func(i, j int) bool {
+			di, dj := keys[i]&0xffffffff, keys[j]&0xffffffff
+			if di != dj {
+				return di < dj
+			}
+			return keys[i]>>32 < keys[j]>>32
+		})
+		for _, k := range keys {
+			src, dst := int32(k>>32), int32(k&0xffffffff)
+			get(dst).recvs = append(get(dst).recvs, flushRecv{src: src, n: len(b.pairs[k])})
+		}
+		for p, f := range flushes {
+			b.cur[p] = append([]pinstr{{op: opFlush, flush: f}}, b.cur[p]...)
+		}
+		b.pairs = make(map[int64][]elemID)
+	}
+	for p := range b.cur {
+		b.ns.procs[p] = append(b.ns.procs[p], b.cur[p]...)
+		b.cur[p] = nil
+	}
+	for e := range b.written {
+		delete(b.written, e)
+	}
+}
+
+// replayStats re-derives the per-element engine's Stats by replaying
+// the timeline single-threadedly. Every clock update mirrors
+// machine.Compute / machine.Send / machine.Recv expression for
+// expression (one-word messages), so the result — including trace
+// events — is bit-identical to what RunExact's machine produces.
+func (s *progSchedule) replayStats(iters int, cfg machine.Config) machine.Stats {
+	n := s.nprocs
+	clock := make([]float64, n)
+	flops := make([]int64, n)
+	msgs := make([]int64, n)
+	words := make([]int64, n)
+	maxw := make([]int64, n)
+	tr := cfg.Tracer
+	for it := 0; it < iters; it++ {
+		for _, ns := range s.nests {
+			for _, op := range ns.timeline {
+				switch op.kind {
+				case tCompute:
+					p, f := op.a, op.b
+					flops[p] += int64(f)
+					before := clock[p]
+					clock[p] += float64(f) * cfg.Tf
+					if tr != nil && clock[p] > before {
+						tr.Record(machine.Event{Proc: int(p), Kind: machine.EvCompute, Start: before, End: clock[p], Peer: -1})
+					}
+				case tXfer:
+					src, dst := op.a, op.b
+					before := clock[src]
+					transfer := cfg.Tc * float64(1)
+					var arrival float64
+					if cfg.Overlap {
+						clock[src] += cfg.Alpha
+						arrival = clock[src] + transfer
+					} else {
+						clock[src] += cfg.Alpha + transfer
+						arrival = clock[src]
+					}
+					msgs[src]++
+					words[src]++
+					if maxw[src] < 1 {
+						maxw[src] = 1
+					}
+					if tr != nil && arrival > before {
+						tr.Record(machine.Event{Proc: int(src), Kind: machine.EvSend, Start: before, End: arrival, Peer: int(dst), Words: 1})
+					}
+					if arrival > clock[dst] {
+						if tr != nil {
+							tr.Record(machine.Event{Proc: int(dst), Kind: machine.EvWait, Start: clock[dst], End: arrival, Peer: int(src)})
+						}
+						clock[dst] = arrival
+					}
+				}
+			}
+		}
+	}
+	var st machine.Stats
+	st.PerProc = make([]machine.ProcStats, n)
+	for r := 0; r < n; r++ {
+		st.PerProc[r] = machine.ProcStats{Clock: clock[r], Flops: flops[r], Messages: msgs[r], Words: words[r], MaxMsgWords: maxw[r]}
+		if clock[r] > st.ParallelTime {
+			st.ParallelTime = clock[r]
+		}
+		st.Flops += flops[r]
+		st.Messages += msgs[r]
+		st.Words += words[r]
+		if maxw[r] > st.MaxMsgWords {
+			st.MaxMsgWords = maxw[r]
+		}
+	}
+	return st
+}
+
+func evalSubs(dst []int, subs []ir.Affine, env map[string]int) []int {
+	for _, su := range subs {
+		dst = append(dst, su.Eval(env))
+	}
+	return dst
+}
+
+func copySlots(s []slot) []slot {
+	if len(s) == 0 {
+		return nil
+	}
+	return append([]slot(nil), s...)
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

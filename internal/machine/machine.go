@@ -90,7 +90,11 @@ type EventKind int
 const (
 	// EvCompute is local floating point work.
 	EvCompute EventKind = iota
-	// EvSend is the sender-side cost of a message.
+	// EvSend is a message's transfer window: Start is the moment the
+	// sender initiated it, End is the arrival time at the receiver. When
+	// Overlap is false the window equals the sender's busy time; when
+	// Overlap is true the sender is only busy for Alpha of it and the
+	// rest is in-flight time overlapped with the sender's computation.
 	EvSend
 	// EvWait is idle time spent blocked for a message, collective
 	// partner, or barrier.
@@ -173,9 +177,10 @@ type Proc struct {
 	m     *Machine
 	clock float64
 	// counters
-	flops    int64
-	messages int64
-	words    int64
+	flops       int64
+	messages    int64
+	words       int64
+	maxMsgWords int64
 }
 
 // Rank returns the linear rank of the processor ("who_am_i" in Fig 6).
@@ -231,8 +236,17 @@ func (p *Proc) Send(dst int, data []Word) {
 		}
 		p.messages++
 		p.words += int64(len(data))
-		if tr := cfg.Tracer; tr != nil && p.clock > before {
-			tr.Record(Event{Proc: p.rank, Kind: EvSend, Start: before, End: p.clock, Peer: dst, Words: len(data)})
+		if int64(len(data)) > p.maxMsgWords {
+			p.maxMsgWords = int64(len(data))
+		}
+		// The event covers the message's true transfer window: Start is
+		// when the sender initiated it, End is the arrival at the receiver.
+		// Under Overlap the sender's own clock only advances by Alpha (it
+		// keeps computing while the message is in flight), so guarding on
+		// the sender clock would drop the event entirely when Alpha == 0;
+		// guard on the arrival instead.
+		if tr := cfg.Tracer; tr != nil && arrival > before {
+			tr.Record(Event{Proc: p.rank, Kind: EvSend, Start: before, End: arrival, Peer: dst, Words: len(data)})
 		}
 	}
 	select {
@@ -274,6 +288,9 @@ func (p *Proc) rawSend(dst int, data []Word, count bool) {
 	if dst != p.rank && count {
 		p.messages++
 		p.words += int64(len(data))
+		if int64(len(data)) > p.maxMsgWords {
+			p.maxMsgWords = int64(len(data))
+		}
 	}
 	select {
 	case p.m.links[p.rank*p.m.grid.Size()+dst] <- message{data: buf}:
@@ -295,6 +312,24 @@ func (p *Proc) rawRecv(src int) []Word {
 // deadErr is the panic value used to unwind processors after a peer
 // failure; Run filters it so only the root cause is reported.
 const deadErr = "machine: aborted after peer failure"
+
+// barrierAbortErr and barrierDeadErr are the panic values the barrier
+// uses to unwind processors that were blocked in (or reached) a barrier
+// after an abort. Like deadErr they are secondary casualties, not root
+// causes, and Run must not let them mask the error of the processor
+// that actually failed.
+const (
+	barrierAbortErr = "machine: barrier aborted while waiting"
+	barrierDeadErr  = "machine: barrier used after abort"
+)
+
+// secondaryPanic reports whether a recovered panic value is one of the
+// sentinel strings raised to unwind innocent processors after a peer
+// failure, rather than a root-cause error.
+func secondaryPanic(rec any) bool {
+	str, ok := rec.(string)
+	return ok && (str == deadErr || str == barrierAbortErr || str == barrierDeadErr)
+}
 
 // SendValue sends a single word.
 func (p *Proc) SendValue(dst int, v Word) { p.Send(dst, []Word{v}) }
@@ -331,16 +366,21 @@ type Stats struct {
 	Messages int64
 	// Words is the total number of words carried by those messages.
 	Words int64
+	// MaxMsgWords is the size of the largest single message any processor
+	// sent — 1 for a per-element engine, the largest vectored exchange
+	// for a batching one.
+	MaxMsgWords int64
 	// PerProc holds the final per-processor snapshots indexed by rank.
 	PerProc []ProcStats
 }
 
 // ProcStats is one processor's final counters.
 type ProcStats struct {
-	Clock    float64
-	Flops    int64
-	Messages int64
-	Words    int64
+	Clock       float64
+	Flops       int64
+	Messages    int64
+	Words       int64
+	MaxMsgWords int64
 }
 
 // MaxFlops returns the largest per-processor flop count — the computation
@@ -356,9 +396,12 @@ func (s Stats) MaxFlops() int64 {
 }
 
 // Run executes the SPMD body on all processors concurrently and returns
-// aggregate statistics. If any processor panics, Run recovers the first
-// panic and returns it as an error after all goroutines have stopped; the
-// machine must not be reused after an error (channels may hold residue).
+// aggregate statistics. If any processor panics, Run returns the
+// lowest-ranked root-cause error after all goroutines have stopped
+// (processors unwound by a peer's failure are filtered, so they cannot
+// mask it); the generic "run aborted" error appears only when an abort
+// happened with no recorded cause. The machine must not be reused after
+// an error (channels may hold residue).
 func (m *Machine) Run(body func(p *Proc)) (Stats, error) {
 	n := m.grid.Size()
 	procs := make([]*Proc, n)
@@ -371,7 +414,11 @@ func (m *Machine) Run(body func(p *Proc)) (Stats, error) {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					if str, ok := rec.(string); !ok || str != deadErr {
+					// A processor unwound by a peer's failure (deadErr, or a
+					// barrier abort) is a casualty, not a cause: recording it
+					// would let a low-rank innocent processor's error mask
+					// the real one in Run's first-error scan below.
+					if !secondaryPanic(rec) {
 						errs[p.rank] = fmt.Errorf("machine: processor %d panicked: %v", p.rank, rec)
 					}
 					// Unblock peers waiting at the barrier or on channels.
@@ -386,13 +433,16 @@ func (m *Machine) Run(body func(p *Proc)) (Stats, error) {
 	var st Stats
 	st.PerProc = make([]ProcStats, n)
 	for r, p := range procs {
-		st.PerProc[r] = ProcStats{Clock: p.clock, Flops: p.flops, Messages: p.messages, Words: p.words}
+		st.PerProc[r] = ProcStats{Clock: p.clock, Flops: p.flops, Messages: p.messages, Words: p.words, MaxMsgWords: p.maxMsgWords}
 		if p.clock > st.ParallelTime {
 			st.ParallelTime = p.clock
 		}
 		st.Flops += p.flops
 		st.Messages += p.messages
 		st.Words += p.words
+		if p.maxMsgWords > st.MaxMsgWords {
+			st.MaxMsgWords = p.maxMsgWords
+		}
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -437,7 +487,7 @@ func (b *barrier) wait(clock float64) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.dead {
-		panic("machine: barrier used after abort")
+		panic(barrierDeadErr)
 	}
 	gen := b.gen
 	if clock > b.max[gen] {
@@ -453,7 +503,7 @@ func (b *barrier) wait(clock float64) float64 {
 			b.cond.Wait()
 		}
 		if b.dead {
-			panic("machine: barrier aborted while waiting")
+			panic(barrierAbortErr)
 		}
 	}
 	v := b.max[gen]

@@ -48,6 +48,14 @@ func (c *Collector) Events() []machine.Event {
 }
 
 // ProcBreakdown is one processor's time accounting.
+//
+// Send sums the transfer windows of EvSend events. With Overlap off a
+// send window is exactly the sender's busy time; with Overlap on the
+// window runs to the message's arrival (the fix for the lost
+// zero-Alpha overlapped sends), so it can overlap the sender's own
+// compute events — Send then reads as "time with a message in flight",
+// not additional busy time, and Idle (clamped at zero) absorbs the
+// double-counting.
 type ProcBreakdown struct {
 	Proc       int
 	Compute    float64
@@ -131,7 +139,9 @@ func (s Summary) String() string {
 // Gantt renders an ASCII timeline: one row per processor, width columns,
 // with '#' compute, '>' send, '=' collective, '.' wait and ' ' idle.
 // Later events overwrite earlier ones within a cell; with the machine's
-// sequential per-processor execution that only matters at boundaries.
+// sequential per-processor execution that only matters at boundaries,
+// except under Overlap, where a send's in-flight window can span later
+// compute cells (the later compute glyph wins).
 func Gantt(events []machine.Event, nprocs int, makespan float64, width int) string {
 	if width < 10 {
 		width = 10
