@@ -11,9 +11,11 @@ package dmcc_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"dmcc/internal/align"
+	"dmcc/internal/artifact"
 	"dmcc/internal/core"
 	"dmcc/internal/cost"
 	"dmcc/internal/dep"
@@ -25,6 +27,7 @@ import (
 	"dmcc/internal/machine"
 	"dmcc/internal/matrix"
 	"dmcc/internal/sched"
+	"dmcc/internal/sweep"
 )
 
 // ---------------------------------------------------------------- T1 ---
@@ -727,4 +730,50 @@ func BenchmarkCompileScaling(b *testing.B) {
 		b.Run(pc.name+"/pr1", func(b *testing.B) { compile(b, pc.prog, "pr1") })
 		b.Run(pc.name+"/prechange", func(b *testing.B) { compile(b, pc.prog, "prechange") })
 	}
+}
+
+// ------------------------------------------------------- artifact cache --
+
+// BenchmarkSweepCached measures the artifact cache behind dmsweep
+// -cache on a compile sweep: "cold" runs the grid into an empty store,
+// computing and persisting every point; "warm" re-runs the same grid
+// against the populated store, so every point is a disk read plus a
+// checksum — no compilation. The cold/warm ratio over the full default
+// grid is recorded in BENCH_compile.json's sweep_cache entry.
+func BenchmarkSweepCached(b *testing.B) {
+	mList, nList, sList := []int{32, 64}, []int{4}, []int{4, 8}
+	points := len(mList) * len(nList) * len(sList) * len(sweep.CompileEngines)
+	open := func(dir string) *artifact.Store {
+		st, err := artifact.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := open(filepath.Join(b.TempDir(), fmt.Sprintf("c%d", i)))
+			if _, err := sweep.Compile(mList, nList, sList, sweep.Options{Cache: st}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		st := open(b.TempDir())
+		if _, err := sweep.Compile(mList, nList, sList, sweep.Options{Cache: st}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.Compile(mList, nList, sList, sweep.Options{Cache: st}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		// Only the populating run may miss; every benchmarked sweep must
+		// have been served entirely from the store.
+		if s := st.Stats(); s.Misses != int64(points) {
+			b.Fatalf("warm sweeps missed the cache: %s (want misses=%d from the populate pass only)", s, points)
+		}
+	})
 }

@@ -10,17 +10,23 @@
 //	dmcc -prog jacobi -exec      also execute the compiled program on the
 //	                             simulated machine (random system, checked
 //	                             against the sequential interpreter)
+//	dmcc -prog gauss -cache      serve the compile report from the artifact
+//	                             cache when the program, binding and engine
+//	                             flags match a prior run (-exec always runs)
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"dmcc/internal/parse"
 
 	"dmcc/internal/align"
+	"dmcc/internal/artifact"
 	"dmcc/internal/codegen"
 	"dmcc/internal/core"
 	"dmcc/internal/cost"
@@ -41,55 +47,102 @@ func main() {
 	doExec := flag.Bool("exec", false, "execute the compiled program on the simulated machine and verify")
 	jobs := flag.Int("j", 0, "cost-engine worker count (0 = all CPUs, 1 = serial)")
 	engine := flag.String("engine", "fast", "cost engine: fast (closed-form counting with compiled-walker fallback), pr1 (exact nest enumeration), prechange (exact everything, no caches)")
+	useCache := flag.Bool("cache", false, "serve the compile report from the artifact cache")
+	cacheDir := flag.String("cache-dir", ".dmcc-cache", "artifact cache directory")
 	flag.Parse()
 
 	var p *ir.Program
 	if *file != "" {
 		src, err := os.ReadFile(*file)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		parsed, err := parse.Parse(string(src))
+		p, err = parse.Parse(string(src))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		if err := run(parsed, *m, *n, *greedy, *jobs, *engine); err != nil {
-			fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
-			os.Exit(1)
+	} else {
+		switch *prog {
+		case "jacobi":
+			p = ir.Jacobi()
+		case "sor":
+			p = ir.SOR()
+		case "gauss":
+			p = ir.Gauss()
+		case "matmul":
+			p = ir.Cannon()
+		default:
+			fmt.Fprintf(os.Stderr, "dmcc: unknown program %q\n", *prog)
+			os.Exit(2)
 		}
-		if *doExec {
-			if err := execute(parsed, *m, *n, *jobs); err != nil {
-				fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
-				os.Exit(1)
-			}
-		}
-		return
 	}
-	switch *prog {
-	case "jacobi":
-		p = ir.Jacobi()
-	case "sor":
-		p = ir.SOR()
-	case "gauss":
-		p = ir.Gauss()
-	case "matmul":
-		p = ir.Cannon()
-	default:
-		fmt.Fprintf(os.Stderr, "dmcc: unknown program %q\n", *prog)
-		os.Exit(2)
-	}
-	if err := run(p, *m, *n, *greedy, *jobs, *engine); err != nil {
-		fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
-		os.Exit(1)
+	if err := compileReport(p, *m, *n, *greedy, *jobs, *engine, *useCache, *cacheDir); err != nil {
+		fatal(err)
 	}
 	if *doExec {
 		if err := execute(p, *m, *n, *jobs); err != nil {
-			fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
+	os.Exit(1)
+}
+
+// compileReport renders the compile report, optionally through the
+// artifact cache. The report is a pure function of the program, the
+// binding and the engine flags — exactly what Compiler.CacheKey encodes
+// — so the cached text is served verbatim on a hit.
+func compileReport(p *ir.Program, m, n int, greedy bool, jobs int, engine string, useCache bool, cacheDir string) error {
+	if !useCache {
+		return run(os.Stdout, p, m, n, greedy, jobs, engine)
+	}
+	c, err := newCompiler(p, m, n, greedy, jobs, engine)
+	if err != nil {
+		return err
+	}
+	store, err := artifact.Open(cacheDir)
+	if err != nil {
+		return err
+	}
+	store.Warnf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dmcc: "+format+"\n", args...)
+	}
+	key := artifact.KeyOf("kind=dmcc-report", c.CacheKey())
+	payload, cached, err := store.GetOrCompute(key, func() ([]byte, error) {
+		var buf bytes.Buffer
+		if err := run(&buf, p, m, n, greedy, jobs, engine); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stdout.Write(payload); err != nil {
+		return err
+	}
+	state := "computed"
+	if cached {
+		state = "hit"
+	}
+	fmt.Fprintf(os.Stderr, "dmcc: cache %s: %s (dir %s)\n", state, store.Stats(), store.Dir())
+	return nil
+}
+
+// newCompiler builds the compiler for a (program, binding, flags)
+// configuration — shared by the report path and the cache-key
+// derivation so the two can never disagree.
+func newCompiler(p *ir.Program, m, n int, greedy bool, jobs int, engine string) (*core.Compiler, error) {
+	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
+	c.UseGreedyAlign = greedy
+	c.Jobs = jobs
+	if err := applyEngine(c, engine); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // applyEngine configures the compiler's cost engine: the production
@@ -182,29 +235,27 @@ func execute(p *ir.Program, m, n, jobs int) error {
 	return nil
 }
 
-func run(p *ir.Program, m, n int, greedy bool, jobs int, engine string) error {
-	fmt.Printf("=== compiling %s for %d processors (m=%d) ===\n\n", p.Name, n, m)
+func run(w io.Writer, p *ir.Program, m, n int, greedy bool, jobs int, engine string) error {
+	fmt.Fprintf(w, "=== compiling %s for %d processors (m=%d) ===\n\n", p.Name, n, m)
 
 	wp := align.WeightParams{Bind: map[string]int{"m": m}, N: n, Tc: 1}
 	s, err := report.AffinityGraph("-- whole-program component affinity graph --", p, p.Nests, wp)
 	if err != nil {
 		return err
 	}
-	fmt.Println(s)
+	fmt.Fprintln(w, s)
 
-	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
-	c.UseGreedyAlign = greedy
-	c.Jobs = jobs
-	if err := applyEngine(c, engine); err != nil {
+	c, err := newCompiler(p, m, n, greedy, jobs, engine)
+	if err != nil {
 		return err
 	}
 	res, err := c.Compile()
 	if err != nil {
 		return err
 	}
-	fmt.Println("-- Algorithm 1: minimum-cost order of distribution schemes --")
+	fmt.Fprintln(w, "-- Algorithm 1: minimum-cost order of distribution schemes --")
 	for _, seg := range res.DP.Segments {
-		fmt.Printf("  loops L%d..L%d: %s, segment cost %.0f, entry redistribution %.0f\n",
+		fmt.Fprintf(w, "  loops L%d..L%d: %s, segment cost %.0f, entry redistribution %.0f\n",
 			seg.Start, seg.Start+seg.Len-1, seg.Schemes, seg.M, seg.ChangeIn)
 		names := make([]string, 0, len(seg.Schemes.Schemes))
 		for name := range seg.Schemes.Schemes {
@@ -212,18 +263,18 @@ func run(p *ir.Program, m, n int, greedy bool, jobs int, engine string) error {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			fmt.Printf("    %-4s %s\n", name, seg.Schemes.Schemes[name])
+			fmt.Fprintf(w, "    %-4s %s\n", name, seg.Schemes.Schemes[name])
 		}
 	}
-	fmt.Printf("  loop-carried cost %.0f; total %.0f (whole-program baseline %.0f)\n\n",
+	fmt.Fprintf(w, "  loop-carried cost %.0f; total %.0f (whole-program baseline %.0f)\n\n",
 		res.DP.LoopCarried, res.DP.MinimumCost, res.WholeProgramCost)
 
-	fmt.Println("-- dependence analysis and pipelining decisions --")
+	fmt.Fprintln(w, "-- dependence analysis and pipelining decisions --")
 	var plans []codegen.NestPlan
 	byNest := map[string]dep.PipelineDecision{}
 	for _, d := range res.Pipelining {
 		byNest[d.Mapping.Nest] = d
-		fmt.Printf("  nest %s: mapping %s, pipelinable=%v, travelling %v\n",
+		fmt.Fprintf(w, "  nest %s: mapping %s, pipelinable=%v, travelling %v\n",
 			d.Mapping.Nest, d.Mapping, d.CanPipeline, d.TravellingTokens)
 	}
 	cyclic := false
@@ -241,16 +292,16 @@ func run(p *ir.Program, m, n int, greedy bool, jobs int, engine string) error {
 		}
 		plans = append(plans, codegen.NestPlan{Nest: nest, Decision: d, Cyclic: cyclic})
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	if allPipelinable && len(plans) == len(p.Nests) {
 		code, err := codegen.Program(p, plans)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("-- generated SPMD program --\n%s", code)
+		fmt.Fprintf(w, "-- generated SPMD program --\n%s", code)
 	} else {
-		fmt.Println("-- codegen skipped: not every nest is pipelinable under the chosen mapping --")
+		fmt.Fprintln(w, "-- codegen skipped: not every nest is pipelinable under the chosen mapping --")
 	}
 	return nil
 }

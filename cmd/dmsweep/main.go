@@ -1,7 +1,8 @@
-// Command dmsweep runs parameter sweeps over the kernels and prints CSV
-// series — the raw data behind EXPERIMENTS.md's figures. Each row is one
-// (kernel variant, m, N) point with the simulated makespan, words on the
-// wire, and the most-loaded processor's flops.
+// Command dmsweep runs parameter sweeps over the kernels and compiler
+// and prints CSV series — the raw data behind EXPERIMENTS.md's figures.
+// The sweep engine lives in internal/sweep; this command parses grids,
+// attaches the artifact cache, picks the output format and applies the
+// baseline gate.
 //
 // Usage:
 //
@@ -22,10 +23,22 @@
 //	                                            symbolically — no
 //	                                            recompile per point)
 //	dmsweep -sweep exec -m 32,64 -n 16         (batched exec backend vs the
-//	                                            per-element RunExact oracle:
-//	                                            wall-clock, simulated time,
-//	                                            naive and transport message/
-//	                                            word counts)
+//	                                            per-element RunExact oracle)
+//
+// Caching and gating:
+//
+//	dmsweep -sweep compile -cache              reuse cached point results
+//	                                           (content-addressed on the
+//	                                            program, binding and engine
+//	                                            flags; stats on stderr)
+//	dmsweep -sweep compile -json               deterministic JSON instead of
+//	                                           CSV (no wall-clock columns;
+//	                                            cached and fresh runs emit
+//	                                            byte-identical documents)
+//	dmsweep -sweep exec -json -baseline BENCH_exec.json
+//	                                           diff this sweep against a
+//	                                           committed baseline and exit
+//	                                           nonzero on regressions
 package main
 
 import (
@@ -34,23 +47,24 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
-	"dmcc/internal/core"
-	"dmcc/internal/cost"
-	"dmcc/internal/exec"
-	"dmcc/internal/ir"
-	"dmcc/internal/kernels"
-	"dmcc/internal/machine"
-	"dmcc/internal/matrix"
+	"dmcc/internal/artifact"
+	"dmcc/internal/sweep"
 )
 
 func main() {
-	sweep := flag.String("sweep", "sor", "sor, gauss, jacobi, stencil, chunks, compile, symbolic, exec")
+	kind := flag.String("sweep", "sor", "sor, gauss, jacobi, stencil, chunks, compile, symbolic, exec")
 	ms := flag.String("m", "32,64,128", "comma-separated problem sizes")
 	ns := flag.String("n", "4,8", "comma-separated processor counts")
 	ss := flag.String("s", "4,8,16", "comma-separated nest-sequence lengths (compile sweep)")
 	jobs := flag.Int("j", 0, "cost-engine worker count (0 = all CPUs, 1 = serial)")
+	workers := flag.Int("workers", 1, "sweep points computed concurrently")
+	useCache := flag.Bool("cache", false, "memoize point results in the artifact cache")
+	cacheDir := flag.String("cache-dir", ".dmcc-cache", "artifact cache directory")
+	cacheMax := flag.Int64("cache-max-bytes", 256<<20, "GC the cache down to this size after the sweep (0 = unbounded)")
+	jsonOut := flag.Bool("json", false, "emit deterministic JSON instead of CSV")
+	baseline := flag.String("baseline", "", "baseline JSON file to diff against; regressions exit nonzero")
+	baselineTol := flag.Float64("baseline-tol", 0, "relative tolerance for -baseline (0.05 = 5%)")
 	flag.Parse()
 
 	mList, err := parseInts(*ms)
@@ -65,181 +79,77 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if *sweep == "compile" {
-		if err := runCompileSweep(mList, nList, sList, *jobs); err != nil {
+
+	opt := sweep.Options{
+		Jobs:    *jobs,
+		Workers: *workers,
+		Warnf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dmsweep: "+format+"\n", args...)
+		},
+	}
+	var store *artifact.Store
+	if *useCache {
+		store, err = artifact.Open(*cacheDir)
+		if err != nil {
 			fail(err)
 		}
-		return
+		store.Warnf = opt.Warnf
+		opt.Cache = store
 	}
-	if *sweep == "symbolic" {
-		if err := runSymbolicSweep(mList, nList); err != nil {
-			fail(err)
-		}
-		return
+
+	var res *sweep.Result
+	switch *kind {
+	case "compile":
+		res, err = sweep.Compile(mList, nList, sList, opt)
+	case "symbolic":
+		res, err = sweep.Symbolic(mList, nList, opt)
+	case "exec":
+		res, err = sweep.Exec(mList, nList, opt)
+	default:
+		res, err = sweep.Kernel(*kind, mList, nList, opt)
 	}
-	if *sweep == "exec" {
-		if err := runExecSweep(mList, nList); err != nil {
-			fail(err)
-		}
-		return
-	}
-	if err := run(*sweep, mList, nList); err != nil {
+	if err != nil {
 		fail(err)
 	}
-}
 
-// runSymbolicSweep is the closed-form m-sweep: for each (program, N) it
-// compiles ONCE at a base size, freezes the plan, fits piecewise
-// polynomials in m to every nest's counts, and then prices every m in
-// the list by evaluating the polynomials — per-point work is O(degree),
-// independent of m. eval_ns records the per-point evaluation time so the
-// independence is visible in the output.
-func runSymbolicSweep(mList, nList []int) error {
-	fmt.Println("prog,n,m,total,exec,redist,loopcarried,eval_ns")
-	progs := []func() *ir.Program{ir.Jacobi, ir.SOR}
-	for _, mk := range progs {
-		for _, n := range nList {
-			p := mk()
-			// Sample from the asymptotic regime: below (n-1)^2 + n the
-			// last processor's block under ceil(m/n) partitioning is
-			// still empty, and counts only become piecewise polynomial
-			// once every block is populated.
-			baseM := n * n
-			if baseM < 4*n {
-				baseM = 4 * n
-			}
-			c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": baseM}, n)
-			pe, err := core.NewPlanEvaluator(c)
+	if *jsonOut {
+		err = res.WriteJSON(os.Stdout)
+	} else {
+		err = res.WriteCSV(os.Stdout)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "dmsweep: cache %s (dir %s)\n", store.Stats(), store.Dir())
+		if *cacheMax > 0 {
+			removed, err := store.GC(*cacheMax)
 			if err != nil {
-				return err
-			}
-			if err := pe.Fit(baseM, 3, 2); err != nil {
-				fmt.Printf("# %s n=%d: %v; evaluating per point instead\n", p.Name, n, err)
-			}
-			for _, f := range pe.Formulas() {
-				fmt.Printf("# %s n=%d %s\n", p.Name, n, f)
-			}
-			for _, m := range mList {
-				start := time.Now()
-				pc, err := pe.EvalAt(m)
-				if err != nil {
-					return err
-				}
-				fmt.Printf("%s,%d,%d,%.0f,%.0f,%.0f,%.0f,%d\n",
-					p.Name, n, m, pc.Total(), pc.Exec, pc.Redist, pc.LoopCarried,
-					time.Since(start).Nanoseconds())
+				fmt.Fprintf(os.Stderr, "dmsweep: cache gc: %v\n", err)
+			} else if removed > 0 {
+				fmt.Fprintf(os.Stderr, "dmsweep: cache gc removed %d entries\n", removed)
 			}
 		}
 	}
-	return nil
-}
 
-// runExecSweep compares the batched exec backend against the
-// per-element RunExact oracle on the three paper programs. Both arms
-// report the same simulated time and naive message/word counts (they
-// share the cost model); the batched arm additionally reports what its
-// vectored transport moved, and wall_ns shows the real-time win of the
-// inspector/executor schedule. The exact arm needs its channel capacity
-// raised to the largest per-pair burst (m*m covers it) — the deadlock
-// crutch the batched engine removes; the batched arm runs at the
-// default ChanCap.
-func runExecSweep(mList, nList []int) error {
-	fmt.Println("prog,engine,m,n,wall_ns,simtime,messages,words,transport_messages,transport_words,max_msg_words")
-	progs := []struct {
-		name    string
-		mk      func() *ir.Program
-		scalars map[string]float64
-		iters   int
-		x0      bool
-	}{
-		{"jacobi", ir.Jacobi, nil, 2, true},
-		{"sor", ir.SOR, map[string]float64{"OMEGA": 1.2}, 2, true},
-		{"gauss", ir.Gauss, nil, 1, false},
-	}
-	for _, pr := range progs {
-		for _, m := range mList {
-			for _, n := range nList {
-				p := pr.mk()
-				c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
-				_, ss, err := c.SegmentCost(1, len(p.Nests))
-				if err != nil {
-					return err
-				}
-				a, b, _ := matrix.DiagonallyDominant(m, 1)
-				input := ir.NewStorage(p)
-				for i := 1; i <= m; i++ {
-					for j := 1; j <= m; j++ {
-						input.Store("A", []int{i, j}, a.At(i-1, j-1))
-					}
-					input.Store("B", []int{i}, b[i-1])
-					if pr.x0 {
-						input.Store("X", []int{i}, 0)
-					}
-				}
-				bind := map[string]int{"m": m}
-
-				start := time.Now()
-				res, err := exec.Run(p, ss, bind, pr.scalars, pr.iters, machine.DefaultConfig(), input)
-				if err != nil {
-					return err
-				}
-				emitExec(pr.name, "batched", m, n, time.Since(start), res)
-
-				ecfg := machine.DefaultConfig()
-				ecfg.ChanCap = m * m
-				start = time.Now()
-				res, err = exec.RunExact(p, ss, bind, pr.scalars, pr.iters, ecfg, input)
-				if err != nil {
-					return err
-				}
-				emitExec(pr.name, "exact", m, n, time.Since(start), res)
-			}
+	if *baseline != "" {
+		regs, notes, err := sweep.Compare(*baseline, res, *baselineTol)
+		if err != nil {
+			fail(err)
 		}
-	}
-	return nil
-}
-
-func emitExec(prog, engine string, m, n int, wall time.Duration, res exec.Result) {
-	fmt.Printf("%s,%s,%d,%d,%d,%.0f,%d,%d,%d,%d,%d\n",
-		prog, engine, m, n, wall.Nanoseconds(), res.Stats.ParallelTime,
-		res.Stats.Messages, res.Stats.Words,
-		res.Transport.Messages, res.Transport.Words, res.Transport.MaxMsgWords)
-}
-
-// runCompileSweep measures the compile pipeline itself: wall-clock time
-// of Compile() on synthetic nest sequences of growing length, for the
-// analytic+memoized engine, the PR 1 engine (exact nest enumeration)
-// and the exact-everything ablation.
-func runCompileSweep(mList, nList, sList []int, jobs int) error {
-	fmt.Println("engine,s,m,n,compile_ns,segments,mincost")
-	for _, s := range sList {
-		for _, m := range mList {
-			for _, n := range nList {
-				for _, engine := range []string{"analytic", "pr1", "exact"} {
-					p := ir.Synthetic(s)
-					c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
-					c.Jobs = jobs
-					if engine == "pr1" {
-						c.ExactNestCount = true
-					}
-					if engine == "exact" {
-						c.ExactNestCount = true
-						c.ExactChangeCost = true
-						c.NoCache = true
-					}
-					start := time.Now()
-					res, err := c.Compile()
-					if err != nil {
-						return err
-					}
-					fmt.Printf("%s,%d,%d,%d,%d,%d,%.0f\n",
-						engine, s, m, n, time.Since(start).Nanoseconds(),
-						len(res.DP.Segments), res.DP.MinimumCost)
-				}
-			}
+		for _, note := range notes {
+			fmt.Fprintf(os.Stderr, "dmsweep: %s\n", note)
 		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "dmsweep: %d regression(s) vs %s (tol %g):\n", len(regs), *baseline, *baselineTol)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "dmsweep:   %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dmsweep: baseline %s: no regressions (tol %g)\n", *baseline, *baselineTol)
 	}
-	return nil
 }
 
 func fail(err error) {
@@ -257,121 +167,4 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func emitHeader() {
-	fmt.Println("variant,m,n,simtime,words,maxflops")
-}
-
-func emit(variant string, m, n int, st machine.Stats) {
-	fmt.Printf("%s,%d,%d,%.0f,%d,%d\n", variant, m, n, st.ParallelTime, st.Words, st.MaxFlops())
-}
-
-func run(sweep string, mList, nList []int) error {
-	cfg := machine.DefaultConfig()
-	emitHeader()
-	switch sweep {
-	case "sor":
-		for _, m := range mList {
-			for _, n := range nList {
-				a, b, _ := matrix.DiagonallyDominant(m, 1)
-				x0 := make([]float64, m)
-				naive, err := kernels.SORNaive(cfg, a, b, x0, 1.2, 2, n)
-				if err != nil {
-					return err
-				}
-				pip, err := kernels.SORPipelined(cfg, a, b, x0, 1.2, 2, n)
-				if err != nil {
-					return err
-				}
-				emit("sor-naive", m, n, naive.Stats)
-				emit("sor-pipelined", m, n, pip.Stats)
-			}
-		}
-	case "gauss":
-		for _, m := range mList {
-			for _, n := range nList {
-				a, b, _ := matrix.DiagonallyDominant(m, 1)
-				bc, err := kernels.GaussBroadcast(cfg, a, b, n)
-				if err != nil {
-					return err
-				}
-				pp, err := kernels.GaussPipelined(cfg, a, b, n)
-				if err != nil {
-					return err
-				}
-				pv, err := kernels.GaussPartialPivot(cfg, a, b, n)
-				if err != nil {
-					return err
-				}
-				emit("gauss-broadcast", m, n, bc.Stats)
-				emit("gauss-pipelined", m, n, pp.Stats)
-				emit("gauss-pivoting", m, n, pv.Stats)
-			}
-		}
-	case "jacobi":
-		for _, m := range mList {
-			for _, n := range nList {
-				a, b, _ := matrix.DiagonallyDominant(m, 1)
-				x0 := make([]float64, m)
-				for _, shape := range [][2]int{{1, n}, {n, 1}} {
-					res, err := kernels.JacobiGrid(cfg, a, b, x0, 2, shape[0], shape[1])
-					if err != nil {
-						return err
-					}
-					emit(fmt.Sprintf("jacobi-%dx%d", shape[0], shape[1]), m, n, res.Stats)
-				}
-			}
-		}
-	case "stencil":
-		for _, m := range mList {
-			for _, n := range nList {
-				u0 := matrix.RandomDense(m, m, 1)
-				if sq := isqrt(n); sq*sq == n {
-					_, st, err := kernels.Stencil2D(cfg, u0, 4, sq, sq)
-					if err != nil {
-						return err
-					}
-					emit("stencil2d-square", m, n, st)
-				}
-				_, st, err := kernels.Stencil2D(cfg, u0, 4, 1, n)
-				if err != nil {
-					return err
-				}
-				emit("stencil2d-strip", m, n, st)
-			}
-		}
-	case "chunks":
-		for _, m := range mList {
-			for _, n := range nList {
-				a, b, _ := matrix.DiagonallyDominant(m, 1)
-				x0 := make([]float64, m)
-				for _, alpha := range []float64{0, 16} {
-					for chunk := 1; chunk <= m/n; chunk *= 2 {
-						if (m/n)%chunk != 0 {
-							continue
-						}
-						c := cfg
-						c.Alpha = alpha
-						res, err := kernels.SORPipelinedChunked(c, a, b, x0, 1.2, 2, n, chunk)
-						if err != nil {
-							return err
-						}
-						emit(fmt.Sprintf("sor-chunk%d-alpha%.0f", chunk, alpha), m, n, res.Stats)
-					}
-				}
-			}
-		}
-	default:
-		return fmt.Errorf("unknown sweep %q", sweep)
-	}
-	return nil
-}
-
-func isqrt(n int) int {
-	r := 0
-	for (r+1)*(r+1) <= n {
-		r++
-	}
-	return r
 }

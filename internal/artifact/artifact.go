@@ -1,0 +1,305 @@
+// Package artifact is a content-addressed, on-disk result cache for
+// compile and simulation artifacts: frozen plans, per-nest cost counts,
+// symbolic fits, and exec/machine statistics. Entries are keyed by a
+// canonical key text (program hash, parameter binding, processor count,
+// engine flags — see core.(*Compiler).CacheKey) and stored as versioned,
+// checksummed records under sha-256 addressed paths.
+//
+// The cache is strictly best-effort: a corrupt, truncated or
+// schema-stale entry is a miss (with a logged warning), never an error,
+// so a damaged store can only cost recomputation. An in-process
+// single-flight layer (GetOrCompute) collapses concurrent workers
+// computing the same key into one computation, and GC(maxBytes) keeps
+// the on-disk footprint bounded by evicting the least recently used
+// records.
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SchemaVersion names the on-disk record layout AND the semantics of
+// every cached payload. Bump it whenever a cached result could change
+// for an unchanged key — e.g. when the cost model, the counting
+// engines, or the golden SchemeSet.Signature() strings change (see
+// TestSignatureGolden in internal/core). Entries written under any
+// other version read as misses.
+const SchemaVersion = 1
+
+// header is the first line of every record file, before the raw
+// payload bytes.
+type header struct {
+	Schema int    `json:"schema"`
+	Key    string `json:"key"` // full key text; guards hash collisions
+	Len    int    `json:"len"` // payload length in bytes
+	Sum    string `json:"sum"` // crc32c of the payload, hex
+}
+
+// Stats counts cache activity since Open.
+type Stats struct {
+	Hits, Misses, Puts int64
+	BytesRead          int64
+	BytesWritten       int64
+}
+
+// String renders the stats the way dmsweep reports them.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d puts=%d read=%dB written=%dB",
+		s.Hits, s.Misses, s.Puts, s.BytesRead, s.BytesWritten)
+}
+
+// Store is one cache directory. Safe for concurrent use.
+type Store struct {
+	dir string
+	// Warnf, when non-nil, receives a warning for every entry dropped as
+	// corrupt or stale. Defaults to silence; dmsweep points it at stderr.
+	Warnf func(format string, args ...any)
+
+	hits, misses, puts, bytesRead, bytesWritten atomic.Int64
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// Open creates the cache directory if needed and returns a store.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir, flights: map[string]*flight{}}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the activity counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Puts:         s.puts.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
+}
+
+func (s *Store) warnf(format string, args ...any) {
+	if s.Warnf != nil {
+		s.Warnf(format, args...)
+	}
+}
+
+// KeyOf builds a canonical key text from parts (joined with ';') — a
+// convenience for callers assembling keys from heterogeneous fields.
+func KeyOf(parts ...string) string {
+	var b bytes.Buffer
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// path maps a key text to its record path: two-level sharding by the
+// sha-256 of the key, so directories stay small.
+func (s *Store) path(key string) string {
+	h := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(h[:])
+	return filepath.Join(s.dir, name[:2], name[2:])
+}
+
+// Get returns the payload stored under key, or ok=false on any miss:
+// absent, truncated, checksum mismatch, schema-stale, or a key-hash
+// collision. Damaged entries are reported via Warnf and removed.
+func (s *Store) Get(key string) ([]byte, bool) {
+	return s.get(key, true)
+}
+
+// get is Get with the miss counter optional: the re-check inside a
+// single-flight already counted its caller's miss, and counting the
+// same logical miss twice would make a cold sweep report misses=2×puts.
+func (s *Store) get(key string, countMiss bool) ([]byte, bool) {
+	p := s.path(key)
+	miss := func() ([]byte, bool) {
+		if countMiss {
+			s.misses.Add(1)
+		}
+		return nil, false
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return miss()
+	}
+	payload, err := decode(raw, key)
+	if err != nil {
+		s.warnf("artifact: dropping %s: %v", p, err)
+		os.Remove(p)
+		return miss()
+	}
+	// Touch for LRU-ish GC; best effort.
+	now := time.Now()
+	_ = os.Chtimes(p, now, now)
+	s.hits.Add(1)
+	s.bytesRead.Add(int64(len(raw)))
+	return payload, true
+}
+
+func decode(raw []byte, key string) ([]byte, error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("no header line")
+	}
+	var h header
+	if err := json.Unmarshal(raw[:nl], &h); err != nil {
+		return nil, fmt.Errorf("bad header: %v", err)
+	}
+	if h.Schema != SchemaVersion {
+		return nil, fmt.Errorf("schema %d, want %d", h.Schema, SchemaVersion)
+	}
+	if h.Key != key {
+		return nil, fmt.Errorf("key mismatch (hash collision or wrong file)")
+	}
+	payload := raw[nl+1:]
+	if len(payload) != h.Len {
+		return nil, fmt.Errorf("payload %d bytes, header says %d", len(payload), h.Len)
+	}
+	if sum := crc32.Checksum(payload, crcTable); sum != mustParseSum(h.Sum) {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return payload, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func mustParseSum(s string) uint32 {
+	var v uint32
+	fmt.Sscanf(s, "%08x", &v)
+	return v
+}
+
+// Put stores payload under key, atomically (write to a temp file in the
+// same directory, then rename).
+func (s *Store) Put(key string, payload []byte) error {
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("artifact: put: %w", err)
+	}
+	h := header{
+		Schema: SchemaVersion,
+		Key:    key,
+		Len:    len(payload),
+		Sum:    fmt.Sprintf("%08x", crc32.Checksum(payload, crcTable)),
+	}
+	hb, err := json.Marshal(h)
+	if err != nil {
+		return fmt.Errorf("artifact: put: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(hb) + 1 + len(payload))
+	buf.Write(hb)
+	buf.WriteByte('\n')
+	buf.Write(payload)
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artifact: put: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: put: %w", err)
+	}
+	s.puts.Add(1)
+	s.bytesWritten.Add(int64(buf.Len()))
+	return nil
+}
+
+// GetOrCompute returns the cached payload for key, or runs compute,
+// stores its result, and returns it. Concurrent calls for the same key
+// collapse to a single compute invocation (single flight); all callers
+// receive the same payload or the same error. cached reports whether
+// the payload came from disk (for this caller). A failed Put degrades
+// to a warning — the computed payload is still returned.
+func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (payload []byte, cached bool, err error) {
+	if p, ok := s.Get(key); ok {
+		return p, true, nil
+	}
+	f := s.joinFlight(key)
+	f.once.Do(func() {
+		// Re-check under the flight: a concurrent worker may have
+		// finished its Put between our Get and joining. The miss above
+		// already counted; don't count this probe as a second one.
+		if p, ok := s.get(key, false); ok {
+			f.payload, f.cached = p, true
+			return
+		}
+		f.payload, f.err = compute()
+		if f.err == nil {
+			if perr := s.Put(key, f.payload); perr != nil {
+				s.warnf("artifact: %v", perr)
+			}
+		}
+	})
+	s.leaveFlight(key, f)
+	return f.payload, f.cached, f.err
+}
+
+// GC removes least-recently-used records until the store's record bytes
+// fit in maxBytes. It returns the number of records removed.
+func (s *Store) GC(maxBytes int64) (int, error) {
+	type rec struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var recs []rec
+	var total int64
+	err := filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		recs = append(recs, rec{path, info.Size(), info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("artifact: gc: %w", err)
+	}
+	if total <= maxBytes {
+		return 0, nil
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].mtime.Before(recs[j].mtime) })
+	removed := 0
+	for _, r := range recs {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(r.path); err != nil {
+			s.warnf("artifact: gc: %v", err)
+			continue
+		}
+		total -= r.size
+		removed++
+	}
+	return removed, nil
+}

@@ -1,0 +1,43 @@
+// In-process single flight: concurrent GetOrCompute calls for one key
+// share one computation. Unlike x/sync/singleflight this is fused with
+// the store's Get/Put (the winning flight re-checks the disk before
+// computing), so a process racing against itself or a concurrent
+// process never computes a key more than once per miss window.
+package artifact
+
+import "sync"
+
+// flight is one in-progress computation. Waiters share the result via
+// the embedded sync.Once.
+type flight struct {
+	once    sync.Once
+	payload []byte
+	cached  bool
+	err     error
+	refs    int
+}
+
+// joinFlight returns the active flight for key, creating it if absent,
+// and registers the caller as a waiter.
+func (s *Store) joinFlight(key string) *flight {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.flights[key]
+	if !ok {
+		f = &flight{}
+		s.flights[key] = f
+	}
+	f.refs++
+	return f
+}
+
+// leaveFlight drops the caller's reference; the last waiter out removes
+// the flight so a later miss starts a fresh computation.
+func (s *Store) leaveFlight(key string, f *flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f.refs--
+	if f.refs == 0 && s.flights[key] == f {
+		delete(s.flights, key)
+	}
+}

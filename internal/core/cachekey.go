@@ -1,0 +1,63 @@
+// Cache-key derivation: the canonical key text that makes compile
+// artifacts content-addressable. Everything that can change a Compile()
+// result is folded in — the program (hashed through its printed source,
+// which ir.Print renders deterministically), the parameter binding, the
+// processor count, the cost model, the alignment weights, and every
+// engine flag. Jobs is deliberately excluded: parallel runs are
+// bit-identical to serial ones (TestParallelCompileDeterministic), so
+// worker count must not split the cache.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dmcc/internal/ir"
+)
+
+// ProgramHash returns the sha-256 (hex) of the program's canonical
+// printed form — a stable content address for the IR.
+func ProgramHash(p *ir.Program) string {
+	h := sha256.Sum256([]byte(ir.Print(p)))
+	return hex.EncodeToString(h[:])
+}
+
+// CacheKey returns the canonical cache key text for this compiler
+// configuration. Two compilers with equal CacheKeys produce identical
+// Compile() results; the artifact store hashes this text to address the
+// cached result.
+func (c *Compiler) CacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prog=%s", ProgramHash(c.Program))
+	names := make([]string, 0, len(c.Bind))
+	for k := range c.Bind {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	b.WriteString(";bind=")
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, c.Bind[k])
+	}
+	fmt.Fprintf(&b, ";n=%d;tf=%g;tc=%g", c.NProcs, c.Model.Tf, c.Model.Tc)
+	fmt.Fprintf(&b, ";wN=%d;wTc=%g;wBind=", c.Weights.N, c.Weights.Tc)
+	wnames := make([]string, 0, len(c.Weights.Bind))
+	for k := range c.Weights.Bind {
+		wnames = append(wnames, k)
+	}
+	sort.Strings(wnames)
+	for i, k := range wnames {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, c.Weights.Bind[k])
+	}
+	fmt.Fprintf(&b, ";greedy=%t;exactnest=%t;exactchange=%t;nocache=%t",
+		c.UseGreedyAlign, c.ExactNestCount, c.ExactChangeCost, c.NoCache)
+	return b.String()
+}

@@ -1,0 +1,147 @@
+// FrozenPlan: the serializable form of a PlanEvaluator — the discrete
+// decisions of one Compile() run (segmentation, grid shapes, alignment
+// partitions, cyclic flags) plus the fitted symbolic counts, as plain
+// data. Freeze/Thaw are the artifact cache's view of "compile once,
+// reuse everywhere": a thawed evaluator re-prices the plan at any
+// problem size without re-running alignment, the shape search, or the
+// DP.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dmcc/internal/align"
+	"dmcc/internal/cost"
+	"dmcc/internal/ir"
+)
+
+// FrozenAssign is one alignment decision: array dimension -> grid
+// dimension (a map entry of align.Partition.Assign, flattened because
+// struct-keyed maps do not serialize to JSON).
+type FrozenAssign struct {
+	Array  string `json:"array"`
+	Dim    int    `json:"dim"`
+	Subset int    `json:"subset"`
+}
+
+// FrozenSegment is one segment of the frozen plan.
+type FrozenSegment struct {
+	Start  int            `json:"start"` // 1-based first nest
+	Len    int            `json:"len"`
+	Shape  [2]int         `json:"shape"`
+	Cyclic bool           `json:"cyclic"`
+	Assign []FrozenAssign `json:"assign"`
+	M      float64        `json:"m"`        // segment cost at the base size
+	Change float64        `json:"changeIn"` // redistribution paid entering
+}
+
+// FrozenPlan is a complete, serializable compilation plan.
+type FrozenPlan struct {
+	BaseM       int             `json:"baseM"`
+	MinimumCost float64         `json:"minimumCost"` // at the base size
+	WholeCost   float64         `json:"wholeCost"`
+	LoopCarried float64         `json:"loopCarried"`
+	Segments    []FrozenSegment `json:"segments"`
+	// ExecFits / LCFits are the per-nest piecewise-polynomial fits in m
+	// (nil when Fit has not run or declined the program).
+	ExecFits []*cost.SymbolicCounts `json:"execFits,omitempty"`
+	LCFits   []*cost.SymbolicCounts `json:"lcFits,omitempty"`
+	// FitErr records why fitting was skipped, so a thawed evaluator
+	// reports the same diagnostics as the one that was frozen.
+	FitErr string `json:"fitErr,omitempty"`
+}
+
+// Freeze captures the evaluator's plan and fits as plain data.
+func (pe *PlanEvaluator) Freeze() *FrozenPlan {
+	fp := &FrozenPlan{
+		BaseM:    pe.BaseM,
+		ExecFits: pe.execSym,
+		LCFits:   pe.lcSym,
+	}
+	if pe.Base != nil {
+		fp.MinimumCost = pe.Base.DP.MinimumCost
+		fp.WholeCost = pe.Base.WholeProgramCost
+		fp.LoopCarried = pe.Base.DP.LoopCarried
+	}
+	for _, fs := range pe.segs {
+		seg := FrozenSegment{
+			Start:  fs.start,
+			Len:    fs.n,
+			Shape:  fs.shape,
+			Cyclic: fs.set.Cyclic,
+		}
+		for id, sub := range fs.set.Partition.Assign {
+			seg.Assign = append(seg.Assign, FrozenAssign{Array: id.Array, Dim: id.Dim, Subset: sub})
+		}
+		sort.Slice(seg.Assign, func(i, j int) bool {
+			a, b := seg.Assign[i], seg.Assign[j]
+			if a.Array != b.Array {
+				return a.Array < b.Array
+			}
+			return a.Dim < b.Dim
+		})
+		fp.Segments = append(fp.Segments, seg)
+	}
+	// Segment costs, for reporting parity with a fresh compile.
+	if pe.Base != nil {
+		for i, seg := range pe.Base.DP.Segments {
+			if i < len(fp.Segments) {
+				fp.Segments[i].M = seg.M
+				fp.Segments[i].Change = seg.ChangeIn
+			}
+		}
+	}
+	return fp
+}
+
+// Validate checks the plan against a program: segments must tile the
+// nest sequence exactly and fits (when present) must cover every nest.
+func (fp *FrozenPlan) Validate(p *ir.Program) error {
+	want := 1
+	for _, seg := range fp.Segments {
+		if seg.Start != want || seg.Len < 1 {
+			return fmt.Errorf("core: frozen plan segment (%d,%d) does not tile the sequence at nest %d", seg.Start, seg.Len, want)
+		}
+		want += seg.Len
+	}
+	if want != len(p.Nests)+1 {
+		return fmt.Errorf("core: frozen plan covers %d nests, program has %d", want-1, len(p.Nests))
+	}
+	if fp.ExecFits != nil && len(fp.ExecFits) != len(p.Nests) {
+		return fmt.Errorf("core: frozen plan has %d exec fits for %d nests", len(fp.ExecFits), len(p.Nests))
+	}
+	if fp.LCFits != nil && len(fp.LCFits) != len(p.Nests) {
+		return fmt.Errorf("core: frozen plan has %d loop-carried fits for %d nests", len(fp.LCFits), len(p.Nests))
+	}
+	return nil
+}
+
+// Thaw reconstructs a PlanEvaluator for the compiler's program from a
+// frozen plan, without compiling: alignment partitions and scheme sets
+// are re-derived from the recorded decisions, and any recorded fits are
+// reinstated. The compiler must be configured identically to the one
+// that produced the plan (same CacheKey) for the evaluator to be
+// meaningful — the artifact store enforces that by keying on it.
+func Thaw(c *Compiler, fp *FrozenPlan) (*PlanEvaluator, error) {
+	if len(c.Program.Params) != 1 {
+		return nil, fmt.Errorf("core: PlanEvaluator sweeps exactly one size parameter, program %s has %d", c.Program.Name, len(c.Program.Params))
+	}
+	if err := fp.Validate(c.Program); err != nil {
+		return nil, err
+	}
+	pe := &PlanEvaluator{c: c, BaseM: fp.BaseM, execSym: fp.ExecFits, lcSym: fp.LCFits}
+	bind := map[string]int{c.Program.Params[0]: fp.BaseM}
+	for _, seg := range fp.Segments {
+		pt := align.Partition{Assign: map[ir.DimID]int{}, Method: "thawed"}
+		for _, a := range seg.Assign {
+			pt.Assign[ir.DimID{Array: a.Array, Dim: a.Dim}] = a.Subset
+		}
+		set, err := DeriveSchemes(c.Program, pt, seg.Shape, bind, seg.Cyclic)
+		if err != nil {
+			return nil, fmt.Errorf("core: thawing segment (%d,%d): %w", seg.Start, seg.Len, err)
+		}
+		pe.segs = append(pe.segs, frozenSeg{start: seg.Start, n: seg.Len, shape: seg.Shape, set: set})
+	}
+	return pe, nil
+}

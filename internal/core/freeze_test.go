@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dmcc/internal/cost"
+	"dmcc/internal/ir"
+)
+
+// A frozen-then-thawed evaluator must price the plan exactly like the
+// evaluator it came from, at every size — with and without fits, and
+// across a JSON roundtrip (the artifact store's wire format).
+func TestFreezeThawRoundtrip(t *testing.T) {
+	for _, mk := range []func() *ir.Program{ir.Jacobi, ir.SOR} {
+		p := mk()
+		const n, baseM = 4, 16
+		c := NewCompiler(p, cost.Unit(), map[string]int{"m": baseM}, n)
+		pe, err := NewPlanEvaluator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pe.Fit(baseM, 3, 2); err != nil {
+			t.Fatalf("%s: Fit: %v", p.Name, err)
+		}
+		fp := pe.Freeze()
+		raw, err := json.Marshal(fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back FrozenPlan
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+
+		c2 := NewCompiler(mk(), cost.Unit(), map[string]int{"m": baseM}, n)
+		thawed, err := Thaw(c2, &back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []int{16, 24, 32, 64, 128} {
+			want, err := pe.EvalAt(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := thawed.EvalAt(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s m=%d: thawed %+v != fresh %+v", p.Name, m, got, want)
+			}
+		}
+		// Formula rendering survives the roundtrip (fits included).
+		wantF, gotF := pe.Formulas(), thawed.Formulas()
+		if len(wantF) != len(gotF) {
+			t.Fatalf("%s: formulas %d != %d", p.Name, len(gotF), len(wantF))
+		}
+		for i := range wantF {
+			if wantF[i] != gotF[i] {
+				t.Fatalf("%s formula %d: %q != %q", p.Name, i, gotF[i], wantF[i])
+			}
+		}
+	}
+}
+
+// Thaw without fits still evaluates (via the analytic engine), matching
+// an unfitted fresh evaluator.
+func TestThawUnfitted(t *testing.T) {
+	c := NewCompiler(ir.Jacobi(), cost.Unit(), map[string]int{"m": 16}, 4)
+	pe, err := NewPlanEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := pe.Freeze()
+	if fp.ExecFits != nil {
+		t.Fatal("unfitted evaluator froze with fits")
+	}
+	c2 := NewCompiler(ir.Jacobi(), cost.Unit(), map[string]int{"m": 16}, 4)
+	thawed, err := Thaw(c2, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{16, 32, 48} {
+		want, _ := pe.EvalAt(m)
+		got, err := thawed.EvalAt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("m=%d: %+v != %+v", m, got, want)
+		}
+	}
+}
+
+// Thaw rejects plans that do not tile the program's nest sequence.
+func TestThawValidates(t *testing.T) {
+	c := NewCompiler(ir.Jacobi(), cost.Unit(), map[string]int{"m": 16}, 4)
+	pe, err := NewPlanEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := pe.Freeze()
+	fp.Segments = fp.Segments[:len(fp.Segments)-1]
+	if _, err := Thaw(c, fp); err == nil {
+		t.Fatal("Thaw accepted a plan that does not cover every nest")
+	}
+}
+
+// CacheKey must separate everything that changes results and nothing
+// that does not (Jobs).
+func TestCacheKeyDiscriminates(t *testing.T) {
+	base := func() *Compiler {
+		return NewCompiler(ir.Jacobi(), cost.Unit(), map[string]int{"m": 16}, 4)
+	}
+	k0 := base().CacheKey()
+	if k1 := base().CacheKey(); k1 != k0 {
+		t.Fatalf("same config, different keys:\n%s\n%s", k0, k1)
+	}
+	c := base()
+	c.Jobs = 7
+	if c.CacheKey() != k0 {
+		t.Fatal("Jobs leaked into the cache key")
+	}
+	mut := map[string]func(*Compiler){
+		"bind":        func(c *Compiler) { c.Bind = map[string]int{"m": 32} },
+		"nprocs":      func(c *Compiler) { c.NProcs = 8 },
+		"model":       func(c *Compiler) { c.Model = cost.Model{Tf: 2, Tc: 1} },
+		"greedy":      func(c *Compiler) { c.UseGreedyAlign = true },
+		"exactnest":   func(c *Compiler) { c.ExactNestCount = true },
+		"exactchange": func(c *Compiler) { c.ExactChangeCost = true },
+		"nocache":     func(c *Compiler) { c.NoCache = true },
+	}
+	for name, f := range mut {
+		c := base()
+		f(c)
+		if c.CacheKey() == k0 {
+			t.Errorf("%s not reflected in CacheKey", name)
+		}
+	}
+	c2 := NewCompiler(ir.SOR(), cost.Unit(), map[string]int{"m": 16}, 4)
+	if c2.CacheKey() == k0 {
+		t.Error("different programs share a CacheKey")
+	}
+}

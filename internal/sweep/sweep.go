@@ -1,0 +1,547 @@
+// Package sweep is the engine behind cmd/dmsweep: it runs the four
+// sweep families (kernel simulations, compile-time scaling, symbolic
+// m-sweeps, exec-backend comparisons) as uniform lists of points, each
+// producing one Row of deterministic metrics plus ephemeral wall-clock
+// columns.
+//
+// Points are content-addressed: with a cache attached (Options.Cache),
+// every point's deterministic metrics are stored in the artifact store
+// under a key derived from the program hash, the parameter binding, the
+// engine flags and the machine fingerprint, so a warm sweep re-reads
+// results instead of recompiling or re-simulating. Concurrent workers
+// (Options.Workers) computing the same key collapse to one computation
+// through the store's single-flight layer. Rows are sorted by (variant,
+// m, N, s), so cached and fresh sweeps emit byte-identical JSON and a
+// committed baseline can be diffed row by row (see baseline.go).
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"dmcc/internal/artifact"
+	"dmcc/internal/core"
+	"dmcc/internal/cost"
+	"dmcc/internal/exec"
+	"dmcc/internal/ir"
+	"dmcc/internal/kernels"
+	"dmcc/internal/machine"
+	"dmcc/internal/matrix"
+)
+
+// Row is one sweep point. Metrics are deterministic (simulated costs
+// and counts — what gets cached, emitted as JSON, and gated against
+// baselines); Wall carries ephemeral wall-clock columns that appear
+// only in CSV output.
+type Row struct {
+	Variant string
+	M, N, S int
+	Metrics map[string]float64
+	Wall    map[string]float64
+}
+
+// Result is one finished sweep.
+type Result struct {
+	Kind string
+	Rows []Row
+	// Comments are CSV-only preamble lines (the symbolic sweep's fitted
+	// formulas).
+	Comments []string
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// Cache, when non-nil, memoizes every point's metrics on disk.
+	Cache *artifact.Store
+	// Jobs is the within-compile worker count (Compiler.Jobs).
+	Jobs int
+	// Workers is the point-level parallelism (1 = serial).
+	Workers int
+	// Warnf receives non-fatal diagnostics; nil silences them.
+	Warnf func(format string, args ...any)
+}
+
+func (o Options) warnf(format string, args ...any) {
+	if o.Warnf != nil {
+		o.Warnf(format, args...)
+	}
+}
+
+// point is one unit of sweep work: fixed row identity, a cache key, and
+// the computation producing the row's metrics.
+type point struct {
+	variant string
+	m, n, s int
+	key     string // "" = never cached
+	wallCol string // name of the wall-clock column, "" = none
+	compute func() (map[string]float64, error)
+}
+
+// runPoints executes points (concurrently when Options.Workers > 1),
+// consulting the cache when attached, and returns rows sorted by
+// (variant, m, n, s).
+func runPoints(pts []point, opt Options) ([]Row, error) {
+	rows := make([]Row, len(pts))
+	errs := make([]error, len(pts))
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	idx := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range idx {
+				rows[i], errs[i] = runPoint(pts[i], opt)
+			}
+		}()
+	}
+	for i := range pts {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	SortRows(rows)
+	return rows, nil
+}
+
+func runPoint(pt point, opt Options) (Row, error) {
+	start := time.Now()
+	metrics, err := cachedMetrics(pt, opt)
+	if err != nil {
+		return Row{}, err
+	}
+	row := Row{Variant: pt.variant, M: pt.m, N: pt.n, S: pt.s, Metrics: metrics}
+	if pt.wallCol != "" {
+		row.Wall = map[string]float64{pt.wallCol: float64(time.Since(start).Nanoseconds())}
+	}
+	return row, nil
+}
+
+func cachedMetrics(pt point, opt Options) (map[string]float64, error) {
+	if opt.Cache == nil || pt.key == "" {
+		return pt.compute()
+	}
+	payload, _, err := opt.Cache.GetOrCompute(pt.key, func() ([]byte, error) {
+		m, err := pt.compute()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(m) // map keys marshal sorted: deterministic
+	})
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(payload, &m); err != nil {
+		// The record passed its checksum but does not decode — a payload
+		// schema change that slipped past SchemaVersion. Recompute.
+		opt.warnf("sweep: undecodable cached metrics for %s (%v); recomputing", pt.variant, err)
+		return pt.compute()
+	}
+	return m, nil
+}
+
+// SortRows orders rows by (variant, m, n, s) — the canonical emission
+// order shared by CSV, JSON and baseline matching.
+func SortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Variant != b.Variant {
+			return a.Variant < b.Variant
+		}
+		if a.M != b.M {
+			return a.M < b.M
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		return a.S < b.S
+	})
+}
+
+// ------------------------------------------------------------ kernels --
+
+// Kernel runs the simulated-kernel sweeps (sor, gauss, jacobi, stencil,
+// chunks) over the (m, n) grid.
+func Kernel(kind string, mList, nList []int, opt Options) (*Result, error) {
+	cfg := machine.DefaultConfig()
+	var pts []point
+	add := func(variant string, m, n int, c machine.Config, run func() (machine.Stats, error)) {
+		pts = append(pts, point{
+			variant: variant, m: m, n: n,
+			key: artifact.KeyOf("kind=kernel", "variant="+variant,
+				fmt.Sprintf("m=%d", m), fmt.Sprintf("n=%d", n), "machine="+c.Fingerprint()),
+			compute: func() (map[string]float64, error) {
+				st, err := run()
+				if err != nil {
+					return nil, err
+				}
+				return map[string]float64{
+					"simtime":  st.ParallelTime,
+					"words":    float64(st.Words),
+					"maxflops": float64(st.MaxFlops()),
+				}, nil
+			},
+		})
+	}
+	for _, m := range mList {
+		for _, n := range nList {
+			m, n := m, n
+			switch kind {
+			case "sor":
+				a, b, _ := matrix.DiagonallyDominant(m, 1)
+				x0 := make([]float64, m)
+				add("sor-naive", m, n, cfg, func() (machine.Stats, error) {
+					r, err := kernels.SORNaive(cfg, a, b, x0, 1.2, 2, n)
+					return r.Stats, err
+				})
+				add("sor-pipelined", m, n, cfg, func() (machine.Stats, error) {
+					r, err := kernels.SORPipelined(cfg, a, b, x0, 1.2, 2, n)
+					return r.Stats, err
+				})
+			case "gauss":
+				a, b, _ := matrix.DiagonallyDominant(m, 1)
+				add("gauss-broadcast", m, n, cfg, func() (machine.Stats, error) {
+					r, err := kernels.GaussBroadcast(cfg, a, b, n)
+					return r.Stats, err
+				})
+				add("gauss-pipelined", m, n, cfg, func() (machine.Stats, error) {
+					r, err := kernels.GaussPipelined(cfg, a, b, n)
+					return r.Stats, err
+				})
+				add("gauss-pivoting", m, n, cfg, func() (machine.Stats, error) {
+					r, err := kernels.GaussPartialPivot(cfg, a, b, n)
+					return r.Stats, err
+				})
+			case "jacobi":
+				a, b, _ := matrix.DiagonallyDominant(m, 1)
+				x0 := make([]float64, m)
+				for _, shape := range [][2]int{{1, n}, {n, 1}} {
+					shape := shape
+					add(fmt.Sprintf("jacobi-%dx%d", shape[0], shape[1]), m, n, cfg, func() (machine.Stats, error) {
+						r, err := kernels.JacobiGrid(cfg, a, b, x0, 2, shape[0], shape[1])
+						return r.Stats, err
+					})
+				}
+			case "stencil":
+				u0 := matrix.RandomDense(m, m, 1)
+				if sq := isqrt(n); sq*sq == n {
+					add("stencil2d-square", m, n, cfg, func() (machine.Stats, error) {
+						_, st, err := kernels.Stencil2D(cfg, u0, 4, sq, sq)
+						return st, err
+					})
+				}
+				add("stencil2d-strip", m, n, cfg, func() (machine.Stats, error) {
+					_, st, err := kernels.Stencil2D(cfg, u0, 4, 1, n)
+					return st, err
+				})
+			case "chunks":
+				a, b, _ := matrix.DiagonallyDominant(m, 1)
+				x0 := make([]float64, m)
+				for _, alpha := range []float64{0, 16} {
+					for chunk := 1; chunk <= m/n; chunk *= 2 {
+						if (m/n)%chunk != 0 {
+							continue
+						}
+						alpha, chunk := alpha, chunk
+						c := cfg
+						c.Alpha = alpha
+						add(fmt.Sprintf("sor-chunk%d-alpha%.0f", chunk, alpha), m, n, c, func() (machine.Stats, error) {
+							r, err := kernels.SORPipelinedChunked(c, a, b, x0, 1.2, 2, n, chunk)
+							return r.Stats, err
+						})
+					}
+				}
+			default:
+				return nil, fmt.Errorf("unknown sweep %q", kind)
+			}
+		}
+	}
+	rows, err := runPoints(pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: kind, Rows: rows}, nil
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// ------------------------------------------------------------ compile --
+
+// CompileEngines are the cost-engine configurations of the compile
+// sweep, in emission order.
+var CompileEngines = []string{"analytic", "pr1", "exact"}
+
+// newCompileCompiler builds the compiler for one compile-sweep point.
+func newCompileCompiler(engine string, s, m, n, jobs int) *core.Compiler {
+	p := ir.Synthetic(s)
+	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
+	c.Jobs = jobs
+	switch engine {
+	case "pr1":
+		c.ExactNestCount = true
+	case "exact":
+		c.ExactNestCount = true
+		c.ExactChangeCost = true
+		c.NoCache = true
+	}
+	return c
+}
+
+// Compile measures the compile pipeline on synthetic nest sequences of
+// the given lengths, per engine.
+func Compile(mList, nList, sList []int, opt Options) (*Result, error) {
+	var pts []point
+	for _, s := range sList {
+		for _, m := range mList {
+			for _, n := range nList {
+				for _, engine := range CompileEngines {
+					s, m, n, engine := s, m, n, engine
+					pts = append(pts, point{
+						variant: engine, m: m, n: n, s: s,
+						key: artifact.KeyOf("kind=compile", "engine="+engine,
+							newCompileCompiler(engine, s, m, n, opt.Jobs).CacheKey()),
+						wallCol: "compile_ns",
+						compute: func() (map[string]float64, error) {
+							res, err := newCompileCompiler(engine, s, m, n, opt.Jobs).Compile()
+							if err != nil {
+								return nil, err
+							}
+							return map[string]float64{
+								"segments": float64(len(res.DP.Segments)),
+								"mincost":  res.DP.MinimumCost,
+							}, nil
+						},
+					})
+				}
+			}
+		}
+	}
+	rows, err := runPoints(pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "compile", Rows: rows}, nil
+}
+
+// ----------------------------------------------------------- symbolic --
+
+// symbolicBaseM places the base size in the asymptotic regime: below
+// (n-1)^2 + n the last processor's block under ceil(m/n) partitioning
+// is still empty, and counts only become piecewise polynomial once
+// every block is populated.
+func symbolicBaseM(n int) int {
+	baseM := n * n
+	if baseM < 4*n {
+		baseM = 4 * n
+	}
+	return baseM
+}
+
+// Symbolic runs the closed-form m-sweep: compile once per (program, N)
+// — or thaw the frozen plan from the cache — fit piecewise polynomials
+// in m, and price every m by evaluating them. The frozen plan (plus
+// fits) is the cached artifact; per-point evaluation is O(degree) and
+// never cached.
+func Symbolic(mList, nList []int, opt Options) (*Result, error) {
+	res := &Result{Kind: "symbolic"}
+	progs := []func() *ir.Program{ir.Jacobi, ir.SOR}
+	for _, mk := range progs {
+		for _, n := range nList {
+			p := mk()
+			baseM := symbolicBaseM(n)
+			c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": baseM}, n)
+			c.Jobs = opt.Jobs
+			pe, fitErr, err := planFor(c, baseM, opt)
+			if err != nil {
+				return nil, err
+			}
+			if fitErr != "" {
+				res.Comments = append(res.Comments,
+					fmt.Sprintf("# %s n=%d: %s; evaluating per point instead", p.Name, n, fitErr))
+			}
+			for _, f := range pe.Formulas() {
+				res.Comments = append(res.Comments, fmt.Sprintf("# %s n=%d %s", p.Name, n, f))
+			}
+			for _, m := range mList {
+				start := time.Now()
+				pc, err := pe.EvalAt(m)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, Row{
+					Variant: p.Name, M: m, N: n,
+					Metrics: map[string]float64{
+						"total": pc.Total(), "exec": pc.Exec,
+						"redist": pc.Redist, "loopcarried": pc.LoopCarried,
+					},
+					Wall: map[string]float64{"eval_ns": float64(time.Since(start).Nanoseconds())},
+				})
+			}
+		}
+	}
+	SortRows(res.Rows)
+	return res, nil
+}
+
+// planFor returns a ready PlanEvaluator for the compiler — thawed from
+// the artifact store when possible, otherwise compiled, fitted and
+// frozen into the store.
+func planFor(c *core.Compiler, baseM int, opt Options) (*core.PlanEvaluator, string, error) {
+	build := func() (*core.PlanEvaluator, string, error) {
+		pe, err := core.NewPlanEvaluator(c)
+		if err != nil {
+			return nil, "", err
+		}
+		fitErr := ""
+		if err := pe.Fit(baseM, 3, 2); err != nil {
+			fitErr = err.Error()
+		}
+		return pe, fitErr, nil
+	}
+	if opt.Cache == nil {
+		return build()
+	}
+	key := artifact.KeyOf("kind=planfit", c.CacheKey(), fmt.Sprintf("fit=minM%d,deg3,val2", baseM))
+	var pe *core.PlanEvaluator
+	var fitErr string
+	payload, cached, err := opt.Cache.GetOrCompute(key, func() ([]byte, error) {
+		var err error
+		pe, fitErr, err = build()
+		if err != nil {
+			return nil, err
+		}
+		fp := pe.Freeze()
+		fp.FitErr = fitErr
+		return json.Marshal(fp)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if pe != nil && !cached {
+		return pe, fitErr, nil // we computed it in this flight
+	}
+	var fp core.FrozenPlan
+	if err := json.Unmarshal(payload, &fp); err != nil {
+		opt.warnf("sweep: undecodable frozen plan (%v); recompiling", err)
+		return build()
+	}
+	thawed, err := core.Thaw(c, &fp)
+	if err != nil {
+		opt.warnf("sweep: stale frozen plan (%v); recompiling", err)
+		return build()
+	}
+	return thawed, fp.FitErr, nil
+}
+
+// --------------------------------------------------------------- exec --
+
+// execProgs are the exec-sweep workloads: the three paper programs with
+// their scalar bindings and iteration counts.
+var execProgs = []struct {
+	name    string
+	mk      func() *ir.Program
+	scalars map[string]float64
+	iters   int
+	x0      bool
+}{
+	{"jacobi", ir.Jacobi, nil, 2, true},
+	{"sor", ir.SOR, map[string]float64{"OMEGA": 1.2}, 2, true},
+	{"gauss", ir.Gauss, nil, 1, false},
+}
+
+// Exec compares the batched exec backend against the per-element
+// RunExact oracle on the three paper programs.
+func Exec(mList, nList []int, opt Options) (*Result, error) {
+	var pts []point
+	for _, pr := range execProgs {
+		for _, m := range mList {
+			for _, n := range nList {
+				pr, m, n := pr, m, n
+				for _, engine := range []string{"batched", "exact"} {
+					engine := engine
+					cfg := machine.DefaultConfig()
+					if engine == "exact" {
+						// The per-element oracle needs its channel capacity
+						// raised to the largest per-pair burst — the deadlock
+						// crutch the batched engine removes.
+						cfg.ChanCap = m * m
+					}
+					pts = append(pts, point{
+						variant: pr.name + "/" + engine, m: m, n: n,
+						key: artifact.KeyOf("kind=exec", "prog="+core.ProgramHash(pr.mk()),
+							"engine="+engine, fmt.Sprintf("m=%d", m), fmt.Sprintf("n=%d", n),
+							fmt.Sprintf("iters=%d;omega=%g", pr.iters, pr.scalars["OMEGA"]),
+							"machine="+cfg.Fingerprint()),
+						wallCol: "wall_ns",
+						compute: func() (map[string]float64, error) {
+							return execPoint(pr.mk(), pr.scalars, pr.iters, pr.x0, engine, m, n, cfg)
+						},
+					})
+				}
+			}
+		}
+	}
+	rows, err := runPoints(pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "exec", Rows: rows}, nil
+}
+
+func execPoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, engine string, m, n int, cfg machine.Config) (map[string]float64, error) {
+	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
+	_, ss, err := c.SegmentCost(1, len(p.Nests))
+	if err != nil {
+		return nil, err
+	}
+	a, b, _ := matrix.DiagonallyDominant(m, 1)
+	input := ir.NewStorage(p)
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= m; j++ {
+			input.Store("A", []int{i, j}, a.At(i-1, j-1))
+		}
+		input.Store("B", []int{i}, b[i-1])
+		if x0 {
+			input.Store("X", []int{i}, 0)
+		}
+	}
+	bind := map[string]int{"m": m}
+	var res exec.Result
+	if engine == "exact" {
+		res, err = exec.RunExact(p, ss, bind, scalars, iters, cfg, input)
+	} else {
+		res, err = exec.Run(p, ss, bind, scalars, iters, cfg, input)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"simtime":            res.Stats.ParallelTime,
+		"messages":           float64(res.Stats.Messages),
+		"words":              float64(res.Stats.Words),
+		"transport_messages": float64(res.Transport.Messages),
+		"transport_words":    float64(res.Transport.Words),
+		"max_msg_words":      float64(res.Transport.MaxMsgWords),
+	}, nil
+}

@@ -1,0 +1,261 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmcc/internal/artifact"
+)
+
+func openStore(t *testing.T) *artifact.Store {
+	t.Helper()
+	st, err := artifact.Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Warnf = t.Logf
+	return st
+}
+
+// A cold cached sweep, a warm cached sweep and an uncached sweep of the
+// same grid must emit byte-identical JSON — the acceptance criterion
+// that makes -cache transparent to consumers of -json.
+func TestCompileSweepCachedJSONIdentical(t *testing.T) {
+	mList, nList, sList := []int{16, 32}, []int{4}, []int{4}
+	st := openStore(t)
+
+	fresh, err := Compile(mList, nList, sList, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Compile(mList, nList, sList, Options{Cache: st, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.Stats()
+	if cs.Misses == 0 || cs.Puts == 0 {
+		t.Fatalf("cold sweep should miss and populate, got %s", cs)
+	}
+	if cs.Hits != 0 {
+		t.Fatalf("cold sweep on empty store reported hits: %s", cs)
+	}
+	warm, err := Compile(mList, nList, sList, Options{Cache: st, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := st.Stats()
+	if ws.Misses != cs.Misses {
+		t.Fatalf("warm sweep missed: cold %s, after warm %s", cs, ws)
+	}
+	if wantHits := int64(len(warm.Rows)); ws.Hits != wantHits {
+		t.Fatalf("warm sweep hits = %d, want %d (%s)", ws.Hits, wantHits, ws)
+	}
+
+	fj, _ := fresh.JSON()
+	cj, _ := cold.JSON()
+	wj, _ := warm.JSON()
+	if !bytes.Equal(fj, cj) {
+		t.Errorf("uncached and cold-cached JSON differ:\n%s\n---\n%s", fj, cj)
+	}
+	if !bytes.Equal(cj, wj) {
+		t.Errorf("cold and warm JSON differ:\n%s\n---\n%s", cj, wj)
+	}
+}
+
+// The symbolic sweep's frozen-plan path: a warm run thaws the plan
+// instead of recompiling and must price every m identically.
+func TestSymbolicSweepCachedMatchesFresh(t *testing.T) {
+	mList, nList := []int{16, 32, 64}, []int{4}
+	st := openStore(t)
+	fresh, err := Symbolic(mList, nList, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Symbolic(mList, nList, Options{Cache: st}); err != nil {
+		t.Fatal(err) // cold: populates the store
+	}
+	warm, err := Symbolic(mList, nList, Options{Cache: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.Hits == 0 {
+		t.Fatalf("warm symbolic sweep never hit the cache: %s", s)
+	}
+	fj, _ := fresh.JSON()
+	wj, _ := warm.JSON()
+	if !bytes.Equal(fj, wj) {
+		t.Errorf("thawed symbolic sweep differs from fresh:\n%s\n---\n%s", fj, wj)
+	}
+	// Formula comments survive the thaw too (they come from the fits).
+	if len(fresh.Comments) != len(warm.Comments) {
+		t.Fatalf("comments: fresh %d, warm %d", len(fresh.Comments), len(warm.Comments))
+	}
+	for i := range fresh.Comments {
+		if fresh.Comments[i] != warm.Comments[i] {
+			t.Errorf("comment %d: fresh %q, warm %q", i, fresh.Comments[i], warm.Comments[i])
+		}
+	}
+}
+
+// Rows come back sorted regardless of worker interleaving.
+func TestRowsCanonicallyOrdered(t *testing.T) {
+	res, err := Compile([]int{32, 16}, []int{4}, []int{4}, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		a, b := res.Rows[i-1], res.Rows[i]
+		if a.Variant > b.Variant ||
+			(a.Variant == b.Variant && a.M > b.M) ||
+			(a.Variant == b.Variant && a.M == b.M && a.N > b.N) ||
+			(a.Variant == b.Variant && a.M == b.M && a.N == b.N && a.S > b.S) {
+			t.Fatalf("rows out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+func writeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Compare against a baseline in dmsweep -json shape: identical metrics
+// pass, inflated current metrics regress, and wall-clock columns are
+// ignored even if present in the baseline.
+func TestCompareSweepJSONBaseline(t *testing.T) {
+	res := &Result{Kind: "compile", Rows: []Row{
+		{Variant: "analytic", M: 16, N: 4, S: 4,
+			Metrics: map[string]float64{"mincost": 28, "segments": 4}},
+	}}
+	base := `{"sweep":"compile","rows":[
+	  {"variant":"analytic","m":16,"n":4,"s":4,
+	   "metrics":{"mincost":28,"segments":4,"compile_ns":12345}},
+	  {"variant":"analytic","m":999,"n":4,"s":4,"metrics":{"mincost":1}}
+	]}`
+	path := writeBaseline(t, base)
+
+	regs, notes, err := Compare(path, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "m=999") {
+		t.Fatalf("expected one skipped-row note for m=999, got %v", notes)
+	}
+
+	res.Rows[0].Metrics["mincost"] = 30 // worse than 28
+	regs, _, err = Compare(path, res, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "mincost" {
+		t.Fatalf("expected one mincost regression, got %v", regs)
+	}
+	// A generous tolerance absorbs it.
+	regs, _, _ = Compare(path, res, 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("7%% increase flagged at 10%% tolerance: %v", regs)
+	}
+}
+
+// Compare understands the committed BENCH_compile.json shape: synth/s=K
+// entries gate the analytic engine's rows at the config's (m, n) on
+// dpcost and segments; wall-clock fields and non-synth entries are
+// ignored.
+func TestCompareBenchCompileBaseline(t *testing.T) {
+	base := `{
+	  "bench": "BenchmarkCompileScaling",
+	  "config": {"m": 64, "n": 16},
+	  "results": [
+	    {"name": "synth/s=4", "fast_ns": 100, "pr1_ns": 200, "prechange_ns": null,
+	     "dpcost": 28, "segments": 4},
+	    {"name": "gauss", "fast_ns": 999, "dpcost": 14024, "segments": 1}
+	  ]
+	}`
+	path := writeBaseline(t, base)
+	res := &Result{Kind: "compile", Rows: []Row{
+		{Variant: "analytic", M: 64, N: 16, S: 4,
+			Metrics: map[string]float64{"mincost": 28, "segments": 4}},
+		{Variant: "exact", M: 64, N: 16, S: 4,
+			Metrics: map[string]float64{"mincost": 9999, "segments": 9}},
+	}}
+	regs, notes, err := Compare(path, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("matching run flagged: %v", regs)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes: %v", notes)
+	}
+	res.Rows[0].Metrics["segments"] = 5
+	regs, _, _ = Compare(path, res, 0)
+	if len(regs) != 1 || regs[0].Metric != "segments" {
+		t.Fatalf("expected a segments regression, got %v", regs)
+	}
+}
+
+// Compare understands the committed BENCH_exec.json shape: prog entries
+// gate the batched arm, with naive_messages renamed to messages.
+func TestCompareBenchExecBaseline(t *testing.T) {
+	base := `{
+	  "bench": "dmsweep -sweep exec (batched engine)",
+	  "config": {"m": 64, "n": 16},
+	  "results": [
+	    {"prog": "jacobi", "wall_ns": 123, "simtime": 1634,
+	     "naive_messages": 1536, "transport_messages": 810,
+	     "words": 1536, "max_msg_words": 32}
+	  ]
+	}`
+	path := writeBaseline(t, base)
+	res := &Result{Kind: "exec", Rows: []Row{
+		{Variant: "jacobi/batched", M: 64, N: 16,
+			Metrics: map[string]float64{"simtime": 1634, "messages": 1536,
+				"transport_messages": 810, "words": 1536, "max_msg_words": 32}},
+		{Variant: "jacobi/exact", M: 64, N: 16,
+			Metrics: map[string]float64{"simtime": 99999}},
+	}}
+	regs, _, err := Compare(path, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("matching run flagged: %v", regs)
+	}
+	res.Rows[0].Metrics["simtime"] = 2000
+	regs, _, _ = Compare(path, res, 0.01)
+	if len(regs) != 1 || regs[0].Metric != "simtime" {
+		t.Fatalf("expected a simtime regression, got %v", regs)
+	}
+}
+
+// A baseline whose grid shares nothing with the sweep is an error, not
+// a silent pass.
+func TestCompareRejectsDisjointBaseline(t *testing.T) {
+	path := writeBaseline(t, `{"sweep":"compile","rows":[
+	  {"variant":"analytic","m":999,"n":999,"metrics":{"mincost":1}}]}`)
+	res := &Result{Kind: "compile", Rows: []Row{
+		{Variant: "analytic", M: 16, N: 4, S: 4, Metrics: map[string]float64{"mincost": 28}},
+	}}
+	if _, _, err := Compare(path, res, 0); err == nil {
+		t.Fatal("disjoint baseline should be an error")
+	}
+}
+
+func TestCompareRejectsUnknownShape(t *testing.T) {
+	path := writeBaseline(t, `{"something":"else"}`)
+	res := &Result{Kind: "compile", Rows: []Row{{Variant: "x", M: 1, N: 1}}}
+	if _, _, err := Compare(path, res, 0); err == nil {
+		t.Fatal("unknown baseline shape should be an error")
+	}
+}
