@@ -664,6 +664,53 @@ func BenchmarkExecBatchedVsExact(b *testing.B) {
 		b.ReportMetric(last.Stats.ParallelTime, "simtime")
 		b.ReportMetric(float64(last.Transport.Messages), "transportmsgs")
 	})
+
+	// SOR is the pipelined-reduction showcase: every finalize is forced
+	// mid-epoch by the next row's read, and the Section 5 ring lowering
+	// turns each per-element combining star into neighbor hops.
+	sor := ir.SOR()
+	cs := core.NewCompiler(sor, cost.Unit(), map[string]int{"m": m}, n)
+	_, sss, err := cs.SegmentCost(1, len(sor.Nests))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sorInput := ir.NewStorage(sor)
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= m; j++ {
+			sorInput.Store("A", []int{i, j}, a.At(i-1, j-1))
+		}
+		sorInput.Store("B", []int{i}, rhs[i-1])
+		sorInput.Store("X", []int{i}, 0)
+	}
+	omega := map[string]float64{"OMEGA": 1.2}
+	const sorIters = 2
+	b.Run("sor-batched", func(b *testing.B) {
+		var last exec.Result
+		for i := 0; i < b.N; i++ {
+			res, err := exec.Run(sor, sss, bind, omega, sorIters, machine.DefaultConfig(), sorInput)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(last.Stats.ParallelTime, "simtime")
+		b.ReportMetric(float64(last.Transport.Messages), "transportmsgs")
+		b.ReportMetric(float64(last.Transport.MaxMsgWords), "maxmsgwords")
+	})
+	b.Run("sor-exact", func(b *testing.B) {
+		cfg := machine.DefaultConfig()
+		cfg.ChanCap = m * m
+		var last exec.Result
+		for i := 0; i < b.N; i++ {
+			res, err := exec.RunExact(sor, sss, bind, omega, sorIters, cfg, sorInput)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(last.Stats.ParallelTime, "simtime")
+		b.ReportMetric(float64(last.Transport.Messages), "transportmsgs")
+	})
 }
 
 // ------------------------------------------------- compile-time scaling --

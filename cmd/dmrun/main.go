@@ -13,13 +13,18 @@
 //	                                                  compiler-chosen schemes)
 //	flags: -overlap (comm/comp overlap), -async (asynchronous collectives),
 //	       -trace (per-processor time breakdown + Gantt chart),
-//	       -chancap (exec: per-link channel capacity in messages)
+//	       -chancap (exec: per-link channel capacity in messages),
+//	       -pipeline=false (exec: per-element finalizes instead of the
+//	                        vectored two-phase / ring reduction exchange),
+//	       -cpuprofile / -memprofile (write pprof profiles)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dmcc/internal/core"
 	"dmcc/internal/cost"
@@ -45,7 +50,17 @@ func main() {
 	async := flag.Bool("async", false, "asynchronous collectives instead of the paper's synchronous model")
 	doTrace := flag.Bool("trace", false, "print per-processor time breakdown and Gantt chart")
 	seed := flag.Int64("seed", 1, "system generator seed")
+	pipeline := flag.Bool("pipeline", true, "exec backend: vectored two-phase / ring reduction exchange (false = per-element finalizes)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmrun: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := machine.DefaultConfig()
 	cfg.Overlap = *overlap
@@ -62,13 +77,13 @@ func main() {
 		cfg.ChanCap = *chanCap
 	}
 
-	var err error
 	if *execBackend {
-		err = runExec(*kernel, cfg, *m, *n, *iters, *seed)
+		err = runExec(*kernel, cfg, *m, *n, *iters, *seed, !*pipeline)
 	} else {
 		err = run(*kernel, cfg, *m, *n, *n2, *iters, *naive, *broadcast, *seed)
 	}
 	if err != nil {
+		stopProf()
 		fmt.Fprintf(os.Stderr, "dmrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -156,7 +171,7 @@ func run(kernel string, cfg machine.Config, m, n, n2, iters int, naive, broadcas
 // Algorithm 1's segment cost), executes it on the batched exec backend,
 // verifies against the sequential reference, and reports both the naive
 // cost model's statistics and what the vectored transport actually moved.
-func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64) error {
+func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64, noPipe bool) error {
 	a, b, _ := matrix.DiagonallyDominant(m, seed)
 	var p *ir.Program
 	var scalars map[string]float64
@@ -193,7 +208,8 @@ func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64) err
 			input.Store("X", []int{i}, x0[i-1])
 		}
 	}
-	res, err := exec.Run(p, ss, map[string]int{"m": m}, scalars, iters, cfg, input)
+	res, err := exec.RunOpts(p, ss, map[string]int{"m": m}, scalars, iters, cfg, input,
+		exec.Options{NoPipeline: noPipe})
 	if err != nil {
 		return err
 	}
@@ -205,7 +221,42 @@ func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64) err
 		res.Stats, matrix.MaxAbsDiff(x, ref))
 	fmt.Printf("  transport (batched): %d messages, %d words, largest message %d words\n",
 		res.Transport.Messages, res.Transport.Words, res.Transport.MaxMsgWords)
+	fmt.Printf("  busiest pair: %d messages, %d words\n",
+		res.Transport.MaxPairMessages, res.Transport.MaxPairWords)
 	return nil
+}
+
+// startProfiles starts CPU profiling (when cpu != "") and returns the
+// function that stops it and writes the heap profile (when mem != "").
+func startProfiles(cpu, mem string) (func(), error) {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	}, nil
 }
 
 func report(title string, st machine.Stats, diff float64) {

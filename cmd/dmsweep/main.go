@@ -23,7 +23,13 @@
 //	                                            symbolically — no
 //	                                            recompile per point)
 //	dmsweep -sweep exec -m 32,64 -n 16         (batched exec backend vs the
-//	                                            per-element RunExact oracle)
+//	                                            per-element RunExact oracle;
+//	                                            -pipeline=false reverts the
+//	                                            batched arm to per-element
+//	                                            finalizes)
+//
+// Profiling: -cpuprofile prof.cpu / -memprofile prof.mem write pprof
+// profiles of the sweep itself.
 //
 // Caching and gating:
 //
@@ -45,6 +51,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -65,7 +73,16 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit deterministic JSON instead of CSV")
 	baseline := flag.String("baseline", "", "baseline JSON file to diff against; regressions exit nonzero")
 	baselineTol := flag.Float64("baseline-tol", 0, "relative tolerance for -baseline (0.05 = 5%)")
+	pipeline := flag.Bool("pipeline", true, "exec sweep: vectored two-phase / ring reduction exchange (false = per-element finalizes)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
 
 	mList, err := parseInts(*ms)
 	if err != nil {
@@ -81,8 +98,9 @@ func main() {
 	}
 
 	opt := sweep.Options{
-		Jobs:    *jobs,
-		Workers: *workers,
+		Jobs:       *jobs,
+		Workers:    *workers,
+		NoPipeline: !*pipeline,
 		Warnf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "dmsweep: "+format+"\n", args...)
 		},
@@ -155,6 +173,39 @@ func main() {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "dmsweep: %v\n", err)
 	os.Exit(1)
+}
+
+// startProfiles starts CPU profiling (when cpu != "") and returns the
+// function that stops it and writes the heap profile (when mem != "").
+func startProfiles(cpu, mem string) (func(), error) {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmsweep: memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dmsweep: memprofile: %v\n", err)
+		}
+	}, nil
 }
 
 func parseInts(s string) ([]int, error) {

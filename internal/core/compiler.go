@@ -61,6 +61,14 @@ type Compiler struct {
 	ExactNestCount bool
 	// NoCache disables cost memoization (ablation).
 	NoCache bool
+	// PipelinedReductions prices multi-processor reductions as the §5
+	// ring pipeline the exec backend lowers them to (a neighbour chain
+	// of partial folds) instead of the naive log-depth combining tree.
+	// The chain moves the same number of words but serialises them one
+	// hop per processor, so no processor — the root in particular —
+	// receives more than O(1) reduction messages per element, which
+	// lets the DP keep layouts the tree pricing rejected.
+	PipelinedReductions bool
 
 	mu       sync.Mutex
 	poolOnce sync.Once
@@ -130,6 +138,7 @@ func (c *Compiler) fanOut(n int, fn func(k int)) {
 // selects: the analytic/compiled-walker dispatcher by default, the
 // reference walker under ExactNestCount.
 func (c *Compiler) countNest(nest *ir.Nest, ss *SchemeSet, opts cost.CountOptions) (cost.Counts, error) {
+	opts.PipelinedReduction = c.PipelinedReductions
 	if c.ExactNestCount {
 		return cost.CountNestOptsExact(c.Program, nest, ss.Schemes, ss.Grid, c.Bind, opts)
 	}

@@ -96,7 +96,8 @@ func (pe *PlanEvaluator) evalCompiler(m int) *Compiler {
 	return &Compiler{
 		Program: pe.c.Program, Model: pe.c.Model, Bind: pe.bindAt(m),
 		NProcs: pe.c.NProcs, Weights: pe.c.Weights, Jobs: 1,
-		ExactNestCount: pe.c.ExactNestCount,
+		ExactNestCount:      pe.c.ExactNestCount,
+		PipelinedReductions: pe.c.PipelinedReductions,
 	}
 }
 

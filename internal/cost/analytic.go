@@ -145,6 +145,13 @@ type anEngine struct {
 // the caller must fall back to enumeration. The caller has already
 // validated the nest.
 func countNestAnalytic(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int, opts CountOptions) (Counts, bool, error) {
+	// The closed forms price reduction cells with the converge-on-root
+	// tree; the Section 5 ring's per-processor in/out chain accounting
+	// has no closed form here yet (ROADMAP: rotated-scheme follow-up),
+	// so pipelined pricing falls back to the compiled walker.
+	if opts.PipelinedReduction {
+		return Counts{}, false, nil
+	}
 	e := &anEngine{g: g, nprocs: g.Size(), q: g.Q(), opts: opts}
 	e.strides = make([]int, e.q)
 	stride := 1

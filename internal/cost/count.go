@@ -15,6 +15,7 @@ package cost
 
 import (
 	"fmt"
+	"sort"
 
 	"dmcc/internal/dist"
 	"dmcc/internal/grid"
@@ -95,6 +96,17 @@ type CountOptions struct {
 	SkipReduction bool
 	// SkipFlops omits computation accounting (communication-only passes).
 	SkipFlops bool
+	// PipelinedReduction prices reduction combining with the Section 5
+	// ring pipeline instead of the converge-on-the-root tree: the
+	// running total travels the partial holders in rank order (one word
+	// in and one word out per interior hop) and the last holder returns
+	// the total to the root, so the root receives O(1) words per
+	// reduced element instead of Log2Ceil(n). Word totals are
+	// unchanged apart from the closing hop; what moves is the
+	// per-processor in/out balance — which is exactly what Counts.Time
+	// prices — letting the DP keep layouts whose reductions the exec
+	// backend now runs as pipelined exchanges.
+	PipelinedReduction bool
 }
 
 // CountNestOpts is the general counting entry point. It produces exactly
@@ -252,6 +264,27 @@ func CountNestOptsExact(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Sc
 				for pr := range procs {
 					out[pr]++
 				}
+				in[root]++
+			}
+			continue
+		}
+		if opts.PipelinedReduction {
+			// Section 5 ring: the running total visits the partial
+			// holders in rank order, one word per hop, and the last
+			// holder closes the ring back to the root.
+			chain := make([]int, 0, n)
+			for pr := range procs {
+				chain = append(chain, pr)
+			}
+			sort.Ints(chain)
+			for i := 1; i < n; i++ {
+				ct.ReduceWords++
+				out[chain[i-1]]++
+				in[chain[i]]++
+			}
+			if last := chain[n-1]; last != root {
+				ct.ReduceWords++
+				out[last]++
 				in[root]++
 			}
 			continue

@@ -202,3 +202,48 @@ func TestCountsTime(t *testing.T) {
 		t.Fatal("Words wrong")
 	}
 }
+
+// TestPipelinedReductionPricing: under the Section 5 ring pricing the
+// same column-distributed Jacobi reduction costs at most one extra word
+// per element (the closing hop) but spreads the receives along the
+// chain, so the root's inbound load — the term that dominated the tree
+// pricing — drops from log2(n) to 1 per element. The compiled walker
+// must agree with the reference walker bit for bit; the analytic engine
+// declines pipelined pricing, so CountNestOpts exercises the fastwalk
+// fallback here.
+func TestPipelinedReductionPricing(t *testing.T) {
+	m, n := 16, 4
+	p := ir.Jacobi()
+	g := grid.New(1, n)
+	bind := map[string]int{"m": m}
+	schemes := jacobiColSchemes(m, n)
+
+	tree, err := CountNestOpts(p, p.Nests[0], schemes, g, bind, CountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := CountOptions{PipelinedReduction: true}
+	pipe, err := CountNestOpts(p, p.Nests[0], schemes, g, bind, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := CountNestOptsExact(p, p.Nests[0], schemes, g, bind, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe != exact {
+		t.Errorf("fastwalk pipelined counts differ from reference:\n got %+v\nwant %+v", pipe, exact)
+	}
+	if pipe.MaxProcIn >= tree.MaxProcIn {
+		t.Errorf("pipelined MaxProcIn = %d, want < tree's %d", pipe.MaxProcIn, tree.MaxProcIn)
+	}
+	// The chain moves each partial exactly once plus at most one closing
+	// hop per element; it can never move fewer words than the tree.
+	if pipe.ReduceWords < tree.ReduceWords || pipe.ReduceWords > tree.ReduceWords+int64(m) {
+		t.Errorf("pipelined ReduceWords = %d, want in [%d, %d]",
+			pipe.ReduceWords, tree.ReduceWords, tree.ReduceWords+int64(m))
+	}
+	if pipe.TotalFlops != tree.TotalFlops || pipe.RemoteWords != tree.RemoteWords {
+		t.Errorf("pipelined pricing changed non-reduction terms: %+v vs %+v", pipe, tree)
+	}
+}

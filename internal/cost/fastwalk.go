@@ -11,6 +11,7 @@ package cost
 
 import (
 	"fmt"
+	"sort"
 
 	"dmcc/internal/dist"
 	"dmcc/internal/grid"
@@ -461,6 +462,26 @@ func (w *fastWalker) bill(opts CountOptions) (Counts, error) {
 					}
 					in[pe.root]++
 				}
+			}
+			continue
+		}
+		if opts.PipelinedReduction {
+			// Section 5 ring accounting, mirroring the reference
+			// walker's PipelinedReduction branch.
+			chain := make([]int32, 0, n)
+			for pr := range pe.procs {
+				chain = append(chain, pr)
+			}
+			sort.Slice(chain, func(i, j int) bool { return chain[i] < chain[j] })
+			for i := 1; i < n; i++ {
+				ct.ReduceWords++
+				out[chain[i-1]]++
+				in[chain[i]]++
+			}
+			if last := chain[n-1]; last != pe.root {
+				ct.ReduceWords++
+				out[last]++
+				in[pe.root]++
 			}
 			continue
 		}

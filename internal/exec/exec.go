@@ -45,10 +45,27 @@ type Result struct {
 	// lockstep engine, identical between Run and RunExact.
 	Stats machine.Stats
 	// Transport is what actually crossed the simulated wire: for Run,
-	// the batched engine's vectored exchanges (far fewer messages, the
-	// same words, MaxMsgWords up to a full epoch block); for RunExact
-	// it equals Stats.
+	// the batched engine's vectored exchanges (far fewer messages,
+	// never more words — the pruned reduction fan-out can drop words a
+	// non-reader owner would have received — MaxMsgWords up to a full
+	// epoch block); for RunExact it equals Stats.
 	Transport machine.Stats
+}
+
+// Options tune the batched engine's transport. The zero value is the
+// default configuration: pipelined finalizes on, no transport tracer.
+type Options struct {
+	// NoPipeline disables the vectored two-phase / ring reduction
+	// exchange, reverting every finalize to a per-element star (the
+	// pre-pipelining transport). Values and the naive Stats are
+	// identical either way; only Result.Transport changes.
+	NoPipeline bool
+	// TransportTracer, when non-nil, receives the batched transport's
+	// own trace events — vectored sends, waits, and the
+	// gather/fan-out/ring phase markers (machine.EvGather, EvFanout,
+	// EvRing). This is distinct from cfg.Tracer, which traces the naive
+	// per-element model that Stats describes.
+	TransportTracer machine.Tracer
 }
 
 // validate performs the shared pre-flight checks of both engines.
@@ -83,6 +100,12 @@ func validate(p *ir.Program, ss *core.SchemeSet) error {
 // Result.Transport.
 func Run(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars map[string]float64,
 	iters int, cfg machine.Config, input ir.Storage) (Result, error) {
+	return RunOpts(p, ss, bind, scalars, iters, cfg, input, Options{})
+}
+
+// RunOpts is Run with transport options.
+func RunOpts(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars map[string]float64,
+	iters int, cfg machine.Config, input ir.Storage, opt Options) (Result, error) {
 
 	if err := validate(p, ss); err != nil {
 		return Result{}, err
@@ -91,15 +114,15 @@ func Run(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars map[str
 		iters = 1
 	}
 
-	sched := buildSchedule(p, ss, bind)
+	sched := buildSchedule(p, ss, bind, !opt.NoPipeline)
 	nprocs := sched.nprocs
 
 	// Value pass: the batched transport computes every array element.
-	// The tracer is stripped — trace events come from the naive-model
-	// replay below, so they describe the per-element schedule the Stats
-	// describe.
+	// cfg.Tracer is replaced by the (usually nil) transport tracer —
+	// the naive-model replay below feeds cfg.Tracer, so its events
+	// describe the per-element schedule the Stats describe.
 	vcfg := cfg
-	vcfg.Tracer = nil
+	vcfg.Tracer = opt.TransportTracer
 	stores := make([][][]float64, nprocs)
 	marks := make([][][]bool, nprocs)
 	mach := machine.New(ss.Grid, vcfg)

@@ -41,6 +41,14 @@ type valExec struct {
 	curAcc    elemID
 	// gather is the vectored-send scratch (machine.Send copies).
 	gather []machine.Word
+	// Vectored-reduction scratch: per-destination build buffers,
+	// per-source receive buffers with cursors and expected counts, and
+	// the ring hop vector.
+	rsend [][]machine.Word
+	rrecv [][]machine.Word
+	rpos  []int
+	rneed []int
+	rvec  []machine.Word
 }
 
 type vbuf struct {
@@ -57,6 +65,10 @@ func newValExec(s *progSchedule, proc *machine.Proc, scalars map[string]float64)
 		bufs:     make([]vbuf, s.nprocs),
 		env:      bindEnv(s.bind),
 		curVals:  make([]float64, 0, 8),
+		rsend:    make([][]machine.Word, s.nprocs),
+		rrecv:    make([][]machine.Word, s.nprocs),
+		rpos:     make([]int, s.nprocs),
+		rneed:    make([]int, s.nprocs),
 	}
 	for a, am := range s.arrays {
 		x.store[a] = make([]float64, am.size)
@@ -140,6 +152,8 @@ func (x *valExec) runNest(ns *nestSchedule) {
 			x.proc.SendValue(int(in.dst), x.loadElem(in.elem))
 		case opFin:
 			x.finalize(in.fin)
+		case opRed:
+			x.reduceBatch(in.red)
 		case opEval:
 			x.eval(ns, in)
 		}
@@ -219,4 +233,209 @@ func (x *valExec) finalize(f *finOp) {
 		}
 	}
 	delete(x.partials, f.elem)
+}
+
+// flushSends transmits every non-empty per-destination build buffer in
+// ascending destination order and returns the words sent.
+func (x *valExec) flushSends() int {
+	sent := 0
+	for dst := range x.rsend {
+		if len(x.rsend[dst]) > 0 {
+			x.proc.Send(dst, x.rsend[dst])
+			sent += len(x.rsend[dst])
+			x.rsend[dst] = x.rsend[dst][:0]
+		}
+	}
+	return sent
+}
+
+// drainRecvs receives one vectored message per source with a nonzero
+// expected count, in ascending source order, resetting the counts.
+func (x *valExec) drainRecvs(what string) {
+	for src := range x.rneed {
+		if x.rneed[src] == 0 {
+			continue
+		}
+		if x.rpos[src] != len(x.rrecv[src]) {
+			panic(fmt.Sprintf("exec: %s buffer from %d not drained (%d of %d words)", what, src, x.rpos[src], len(x.rrecv[src])))
+		}
+		data := x.proc.Recv(src)
+		if len(data) != x.rneed[src] {
+			panic(fmt.Sprintf("exec: %s exchange from %d expected %d words, got %d", what, src, x.rneed[src], len(data)))
+		}
+		x.rrecv[src], x.rpos[src] = data, 0
+		x.rneed[src] = 0
+	}
+}
+
+func (x *valExec) popRecv(src int) machine.Word {
+	v := x.rrecv[src][x.rpos[src]]
+	x.rpos[src]++
+	return v
+}
+
+// reduceBatch runs one vectored reduction exchange (opRed): the
+// two-phase gather + fan-out lowering, or the Section 5 ring when the
+// inspector marked the batch ring-eligible. Both fold each element
+// exactly like finalize — stored value first, then contributors in
+// ascending order — so values stay bit-identical to the oracle.
+func (x *valExec) reduceBatch(r *redOp) {
+	if r.ring {
+		x.reduceRing(r)
+		return
+	}
+
+	// Gather phase: one vectored partials message per (contributor,
+	// root) pair, items in batch order on both ends so cursors align.
+	start := x.proc.Clock()
+	for _, f := range r.items {
+		if x.me != f.root && contains(f.contribs, x.me) {
+			x.rsend[f.root] = append(x.rsend[f.root], x.partials[f.elem])
+		}
+	}
+	sent := x.flushSends()
+	for _, f := range r.items {
+		if x.me == f.root {
+			for _, c := range f.contribs {
+				if c != x.me {
+					x.rneed[c]++
+				}
+			}
+		}
+	}
+	x.drainRecvs("gather")
+	for _, f := range r.items {
+		if x.me == f.root {
+			total := x.loadElem(f.elem)
+			for _, c := range f.contribs {
+				var part machine.Word
+				if c == f.root {
+					part = x.partials[f.elem]
+				} else {
+					part = x.popRecv(c)
+				}
+				total += part
+				x.proc.Compute(1)
+			}
+			x.storeElem(f.elem, total)
+		}
+		delete(x.partials, f.elem)
+	}
+	x.proc.Note(machine.EvGather, start, x.proc.Clock(), -1, sent)
+
+	// Fan-out phase: one vectored totals message per (root, live
+	// reader) pair. Owners outside the fan-out were proven by the
+	// liveness scan not to read the total before its next write.
+	start = x.proc.Clock()
+	for _, f := range r.items {
+		if x.me == f.root {
+			for _, o := range f.fanout {
+				x.rsend[o] = append(x.rsend[o], x.loadElem(f.elem))
+			}
+		}
+	}
+	sent = x.flushSends()
+	for _, f := range r.items {
+		if x.me != f.root && contains(f.fanout, x.me) {
+			x.rneed[f.root]++
+		}
+	}
+	x.drainRecvs("fanout")
+	for _, f := range r.items {
+		if x.me != f.root && contains(f.fanout, x.me) {
+			x.storeElem(f.elem, x.popRecv(f.root))
+		}
+	}
+	x.proc.Note(machine.EvFanout, start, x.proc.Clock(), -1, sent)
+}
+
+// reduceRing runs a ring-lowered batch (Section 5): the running totals
+// travel the shared contributor chain neighbor-to-neighbor — each hop
+// folds its partials into the vector — and the last contributor
+// delivers the totals to the root (which always stores) and the live
+// readers. The root receives one message instead of len(contribs)-1,
+// de-serializing the reduction hot-spot the paper's pipelined SOR
+// removes.
+func (x *valExec) reduceRing(r *redOp) {
+	start := x.proc.Clock()
+	sent := 0
+	order := r.items[0].contribs
+	k := len(order)
+	last := order[k-1]
+	switch pos := indexOf(order, x.me); {
+	case pos == 0: // root: fold stored values + own partials, start the ring
+		x.rvec = x.rvec[:0]
+		for _, f := range r.items {
+			x.rvec = append(x.rvec, x.loadElem(f.elem)+x.partials[f.elem])
+			x.proc.Compute(1)
+		}
+		x.proc.Send(order[1], x.rvec)
+		sent += len(x.rvec)
+		data := x.proc.Recv(last)
+		if len(data) != len(r.items) {
+			panic(fmt.Sprintf("exec: ring totals expected %d words, got %d", len(r.items), len(data)))
+		}
+		for i, f := range r.items {
+			x.storeElem(f.elem, data[i])
+		}
+	case pos > 0 && pos < k-1: // interior hop: fold and forward
+		data := x.proc.Recv(order[pos-1])
+		x.rvec = x.rvec[:0]
+		for i, f := range r.items {
+			x.rvec = append(x.rvec, data[i]+x.partials[f.elem])
+			x.proc.Compute(1)
+		}
+		x.proc.Send(order[pos+1], x.rvec)
+		sent += len(x.rvec)
+		x.ringStoreTotals(r, last)
+	case pos == k-1: // last hop: fold, then deliver the totals
+		data := x.proc.Recv(order[k-2])
+		x.rvec = x.rvec[:0]
+		for i, f := range r.items {
+			total := data[i] + x.partials[f.elem]
+			x.proc.Compute(1)
+			x.rvec = append(x.rvec, total)
+			if contains(f.owners, x.me) {
+				x.storeElem(f.elem, total)
+			}
+		}
+		// The root always gets the full vector; live readers get their
+		// items. Root = min(owners) < every fan-out rank, so sending it
+		// first keeps the destinations ascending.
+		x.proc.Send(r.items[0].root, x.rvec)
+		sent += len(x.rvec)
+		for i, f := range r.items {
+			for _, o := range f.fanout {
+				if o != x.me {
+					x.rsend[o] = append(x.rsend[o], x.rvec[i])
+				}
+			}
+		}
+		sent += x.flushSends()
+	default: // pure reader
+		x.ringStoreTotals(r, last)
+	}
+	for _, f := range r.items {
+		delete(x.partials, f.elem)
+	}
+	x.proc.Note(machine.EvRing, start, x.proc.Clock(), -1, sent)
+}
+
+// ringStoreTotals receives the delivery vector from the ring's last
+// contributor and stores the items this processor is a live reader of.
+func (x *valExec) ringStoreTotals(r *redOp, last int) {
+	for _, f := range r.items {
+		if x.me != last && contains(f.fanout, x.me) {
+			x.rneed[last]++
+		}
+	}
+	if x.rneed[last] == 0 {
+		return
+	}
+	x.drainRecvs("ring")
+	for _, f := range r.items {
+		if x.me != last && contains(f.fanout, x.me) {
+			x.storeElem(f.elem, x.popRecv(last))
+		}
+	}
 }

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dmcc/internal/ir"
+	"dmcc/internal/machine"
+	"dmcc/internal/matrix"
+	"dmcc/internal/trace"
+)
+
+// phaseLines runs the batched engine with a transport tracer attached
+// and returns the reduction-phase events (gather/fanout/ring) as
+// deterministic "p<proc> <kind> w=<words>" lines in collector order —
+// per-processor, in each processor's own program order.
+func phaseLines(t *testing.T, p *ir.Program, scalars map[string]float64, m, n, iters int, opt Options) ([]string, Result) {
+	t.Helper()
+	a, b, _ := matrix.DiagonallyDominant(m, 401)
+	x0 := make([]float64, m)
+	input := loadLinearSystem(p, a, b, x0)
+	ss := wholeProgramSchemes(t, p, m, n)
+	col := trace.New()
+	opt.TransportTracer = col
+	res, err := RunOpts(p, ss, map[string]int{"m": m}, scalars, iters, machine.DefaultConfig(), input, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, e := range col.Events() {
+		switch e.Kind {
+		case machine.EvGather, machine.EvFanout, machine.EvRing:
+			lines = append(lines, fmt.Sprintf("p%d %s w=%d", e.Proc, e.Kind, e.Words))
+		}
+	}
+	return lines, res
+}
+
+// TestSORGoldenRingTrace pins the Section 5 ring lowering on SOR at
+// m=8, n=4 (the compiler picks a 1x4 grid): every V(i) finalize is a
+// mid-epoch ring over the four column processors — one ring step per
+// processor per element, the running total travelling neighbor to
+// neighbor. The last chain processor's step carries 2 words when it
+// both closes the ring to the root and feeds a fan-out reader. The
+// trace is fully deterministic, so any change to the lowering shows up
+// as a diff against this golden sequence.
+func TestSORGoldenRingTrace(t *testing.T) {
+	lines, res := phaseLines(t, ir.SOR(), map[string]float64{"OMEGA": 1.2}, 8, 4, 1, Options{})
+	var want []string
+	for proc := 0; proc < 4; proc++ {
+		for elem := 0; elem < 8; elem++ {
+			w := 1
+			// p3 closes the ring: for V(3..6) the root is an interior
+			// processor and a fan-out reader needs the total too, so the
+			// closing step ships 2 one-word vectors.
+			if proc == 3 && elem >= 2 && elem <= 5 {
+				w = 2
+			}
+			want = append(want, fmt.Sprintf("p%d ring w=%d", proc, w))
+		}
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Errorf("SOR ring trace diverged:\n got %v\nwant %v", lines, want)
+	}
+	if res.Transport.Messages >= res.Stats.Messages {
+		t.Errorf("ring transport must beat the naive star: %d >= %d",
+			res.Transport.Messages, res.Stats.Messages)
+	}
+
+	// With pipelining off, no phase events exist and the transport
+	// reverts to one message per finalize hop.
+	off, resOff := phaseLines(t, ir.SOR(), map[string]float64{"OMEGA": 1.2}, 8, 4, 1, Options{NoPipeline: true})
+	if len(off) != 0 {
+		t.Errorf("NoPipeline run still emitted %d phase events", len(off))
+	}
+	if !reflect.DeepEqual(resOff.Values, res.Values) {
+		t.Errorf("pipelined and per-element values differ")
+	}
+	if resOff.Transport.Messages <= res.Transport.Messages {
+		t.Errorf("per-element transport (%d msgs) should exceed ring transport (%d)",
+			resOff.Transport.Messages, res.Transport.Messages)
+	}
+}
+
+// TestJacobiGoldenTwoPhaseTrace pins the gather/fan-out lowering on
+// Jacobi at m=8, n=4: all inner-product finalizes are hoisted to nest
+// end and exchanged in two vectored phases — each non-root column
+// processor sends its 8 partials as one gather message to the root,
+// and the root fans the 6 off-root totals out as one message per live
+// reader. 30 transported words replace the oracle's per-element stars.
+func TestJacobiGoldenTwoPhaseTrace(t *testing.T) {
+	lines, res := phaseLines(t, ir.Jacobi(), nil, 8, 4, 1, Options{})
+	want := []string{
+		"p0 gather w=0", "p0 fanout w=6",
+		"p1 gather w=8", "p1 fanout w=0",
+		"p2 gather w=8", "p2 fanout w=0",
+		"p3 gather w=8", "p3 fanout w=0",
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Errorf("jacobi two-phase trace diverged:\n got %v\nwant %v", lines, want)
+	}
+	if res.Transport.Messages >= res.Stats.Messages {
+		t.Errorf("two-phase transport must beat the naive star: %d >= %d",
+			res.Transport.Messages, res.Stats.Messages)
+	}
+}

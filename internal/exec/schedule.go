@@ -72,6 +72,90 @@ type progSchedule struct {
 	// engine recomputed it for every (instance, read, executor) visit.
 	ocache map[elemID][]int
 	nests  []*nestSchedule
+	// pipeline enables the vectored two-phase / ring finalize lowering;
+	// when false every finalize stays a per-element star (the PR 3
+	// transport), which is what the -pipeline=false knob compares
+	// against.
+	pipeline bool
+	// Liveness state for fan-out pruning (pipeline mode): redArrs marks
+	// arrays that appear as a reduction LHS; acc records, per element of
+	// those arrays, the program-order sequence of local-read and write
+	// events; sites lists every finalize with its position in that
+	// sequence. computeFanouts scans forward (cyclically, because the
+	// program body repeats each outer iteration) from each site to the
+	// element's next write and keeps only the owners that actually read
+	// the total in between.
+	redArrs map[int]bool
+	seq     int
+	acc     map[elemID][]accEvent
+	sites   []finSite
+}
+
+// accEvent is one liveness event of a reduction-accumulator element:
+// either a write (finalize or plain overwrite) or a local read by the
+// listed ranks.
+type accEvent struct {
+	seq     int
+	write   bool
+	readers []int
+}
+
+// finSite is one finalize's position in the liveness sequence.
+type finSite struct {
+	e   elemID
+	seq int
+	f   *finOp
+}
+
+func (s *progSchedule) noteRead(e elemID, readers []int) {
+	s.seq++
+	s.acc[e] = append(s.acc[e], accEvent{seq: s.seq, readers: append([]int(nil), readers...)})
+}
+
+func (s *progSchedule) noteWrite(e elemID) {
+	s.seq++
+	s.acc[e] = append(s.acc[e], accEvent{seq: s.seq, write: true})
+}
+
+func (s *progSchedule) noteFinalize(e elemID, f *finOp) {
+	s.seq++
+	s.acc[e] = append(s.acc[e], accEvent{seq: s.seq, write: true})
+	s.sites = append(s.sites, finSite{e: e, seq: s.seq, f: f})
+}
+
+// computeFanouts prunes every finalize's fan-out to the owners that are
+// live readers of the total: ranks that locally read the element after
+// this finalize and before its next write. The scan is cyclic — the
+// program body repeats each outer iteration, so events before the site
+// replay after it — and therefore conservative for the final iteration.
+// The root is never in the fan-out: it always folds and stores the
+// total, which keeps the ship source (owners[0]) and the first-owner
+// result assembly correct even when every other owner is pruned.
+func (s *progSchedule) computeFanouts() {
+	live := map[int]bool{}
+	for _, site := range s.sites {
+		f := site.f
+		events := s.acc[site.e]
+		start := sort.Search(len(events), func(k int) bool { return events[k].seq > site.seq })
+		for k := range live {
+			delete(live, k)
+		}
+		n := len(events)
+		for k := 0; k < n; k++ {
+			ev := &events[(start+k)%n]
+			if ev.write {
+				break
+			}
+			for _, r := range ev.readers {
+				live[r] = true
+			}
+		}
+		for _, o := range f.owners {
+			if o != f.root && live[o] {
+				f.fanout = append(f.fanout, o)
+			}
+		}
+	}
 }
 
 // nestSchedule is one nest's schedule, built once and replayed for
@@ -109,6 +193,7 @@ type pinstr struct {
 	slots []slot
 	flush *flushOp
 	fin   *finOp
+	red   *redOp
 }
 
 const (
@@ -123,6 +208,9 @@ const (
 	// opEval receives this processor's remote operands and, unless the
 	// role is roleRecvOnly, evaluates the statement instance.
 	opEval
+	// opRed runs a vectored reduction exchange (two-phase or ring) for a
+	// batch of finalizes; pipeline mode's replacement for opFin.
+	opRed
 )
 
 const (
@@ -159,15 +247,72 @@ type finOp struct {
 	contribs []int
 	owners   []int
 	root     int
+	// fanout is the liveness-pruned total-delivery set (pipeline mode):
+	// owners other than the root that locally read the total before the
+	// element's next write, ascending. Filled by computeFanouts after
+	// the walk; the legacy per-element star (pipeline off) ignores it
+	// and delivers to all owners.
+	fanout []int
 }
 
-// buildSchedule runs the inspector over the whole program.
-func buildSchedule(p *ir.Program, ss *core.SchemeSet, bind map[string]int) *progSchedule {
+// redOp is one vectored reduction exchange covering a batch of
+// finalizes: all reductions forced by one statement instance
+// (mid-epoch, ordered) or all reductions still pending at nest end
+// (hoistable). Two lowerings share the type:
+//
+//   - two-phase: a gather phase (one vectored partials message per
+//     (contributor, root) pair, items in batch order) and a fan-out
+//     phase (one vectored totals message per (root, live reader) pair);
+//
+//   - ring (Section 5), when ring is true: the running totals travel
+//     the contributor chain neighbor-to-neighbor — each hop adds its
+//     partials and forwards the vector — and the last contributor
+//     delivers the totals to the root and the live readers. This
+//     de-serializes the root hot-spot: the root receives one message
+//     instead of len(contribs)-1.
+//
+// Both phases and the ring keep the oracle's left-associative fold
+// order (stored value, then contributors ascending), so values stay
+// bit-identical to RunExact.
+type redOp struct {
+	items []*finOp
+	ring  bool
+}
+
+// ringEligible reports whether a mid-epoch batch can be ring-lowered:
+// every item must share one contributor chain of length >= 3 that
+// starts at the shared root (so the chain's first hop has the stored
+// value to fold first and the fold order matches the star's).
+func ringEligible(items []*finOp) bool {
+	f0 := items[0]
+	if len(f0.contribs) < 3 || f0.contribs[0] != f0.root {
+		return false
+	}
+	for _, f := range items[1:] {
+		if f.root != f0.root || len(f.contribs) != len(f0.contribs) {
+			return false
+		}
+		for i, c := range f.contribs {
+			if c != f0.contribs[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildSchedule runs the inspector over the whole program. pipeline
+// selects the vectored two-phase / ring finalize lowering; off, every
+// finalize stays a per-element star.
+func buildSchedule(p *ir.Program, ss *core.SchemeSet, bind map[string]int, pipeline bool) *progSchedule {
 	s := &progSchedule{
 		p: p, ss: ss, bind: bind,
-		nprocs: ss.Grid.Size(),
-		aid:    make(map[string]int, len(p.Arrays)),
-		ocache: make(map[elemID][]int),
+		nprocs:   ss.Grid.Size(),
+		aid:      make(map[string]int, len(p.Arrays)),
+		ocache:   make(map[elemID][]int),
+		pipeline: pipeline,
+		redArrs:  make(map[int]bool),
+		acc:      make(map[elemID][]accEvent),
 	}
 	names := make([]string, 0, len(p.Arrays))
 	for name := range p.Arrays {
@@ -185,9 +330,19 @@ func buildSchedule(p *ir.Program, ss *core.SchemeSet, bind map[string]int) *prog
 		s.aid[name] = len(s.arrays)
 		s.arrays = append(s.arrays, am)
 	}
+	for _, nest := range p.Nests {
+		for _, st := range nest.Stmts {
+			if st.Reduce {
+				s.redArrs[s.aid[st.LHS.Array]] = true
+			}
+		}
+	}
 	s.nests = make([]*nestSchedule, len(p.Nests))
 	for i, nest := range p.Nests {
 		s.nests[i] = s.buildNest(nest)
+	}
+	if pipeline {
+		s.computeFanouts()
 	}
 	return s
 }
@@ -269,6 +424,8 @@ type nestBuilder struct {
 	readIdx [][]int
 	ships   []shipT
 	exSlots [][]slot
+	forced  []elemID
+	readers []int
 }
 
 type shipT struct {
@@ -338,9 +495,13 @@ func (s *progSchedule) buildNest(nest *ir.Nest) *nestSchedule {
 		keys = append(keys, pend{pkey(name, idx), e})
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].key < keys[j].key })
-	for _, k := range keys {
-		b.emitFinalize(k.e)
+	// Nest-end finalizes are hoistable: no later statement of the nest
+	// reads them, so the whole set coalesces into one vectored exchange.
+	elems := make([]elemID, len(keys))
+	for i, k := range keys {
+		elems[i] = k.e
 	}
+	b.emitBatch(elems, false)
 	b.closeEpoch()
 	return ns
 }
@@ -407,18 +568,56 @@ func (b *nestBuilder) instance(si int, stmt *ir.Stmt) {
 
 	// Forced finalizes: any pending reduction read by this instance
 	// (other than its own accumulator), then a non-reduce write to a
-	// pending element.
+	// pending element. They are mid-epoch — ordered before this
+	// instance's reads — so the batch covers exactly this instance's
+	// set (pipeline mode folds them into one vectored exchange; the
+	// classification of ISSUE 5's inspector).
+	b.forced = b.forced[:0]
 	for ri := range stmt.Reads {
 		e := readElem[ri]
 		if stmt.Reduce && e == lhsElem {
 			continue
 		}
-		if _, pend := b.pending[e]; pend {
-			b.emitFinalize(e)
+		if _, pend := b.pending[e]; pend && !containsElem(b.forced, e) {
+			b.forced = append(b.forced, e)
 		}
 	}
-	if _, pend := b.pending[lhsElem]; pend && !stmt.Reduce {
-		b.emitFinalize(lhsElem)
+	if _, pend := b.pending[lhsElem]; pend && !stmt.Reduce && !containsElem(b.forced, lhsElem) {
+		b.forced = append(b.forced, lhsElem)
+	}
+	b.emitBatch(b.forced, true)
+
+	// Liveness events for fan-out pruning: local reads of
+	// reduction-accumulator elements (reads satisfied by ships are the
+	// root's job, not the reader's copy), and overwrites.
+	if b.s.pipeline {
+		for ri, rd := range stmt.Reads {
+			e := readElem[ri]
+			if !b.s.redArrs[e.arr()] || (stmt.Reduce && e == lhsElem) {
+				continue
+			}
+			owners := b.s.ownersOf(e, rd.Array, b.readIdx[ri])
+			b.readers = b.readers[:0]
+			if stmt.Reduce {
+				// Only the contributor evaluates; replicas just drain
+				// their shipped slots.
+				if contains(owners, executors[0]) {
+					b.readers = append(b.readers, executors[0])
+				}
+			} else {
+				for _, ex := range executors {
+					if contains(owners, ex) {
+						b.readers = append(b.readers, ex)
+					}
+				}
+			}
+			if len(b.readers) > 0 {
+				b.s.noteRead(e, b.readers)
+			}
+		}
+		if !stmt.Reduce && b.s.redArrs[lhsElem.arr()] {
+			b.s.noteWrite(lhsElem)
+		}
 	}
 
 	// Emit the ships: timeline events in the global lockstep order, and
@@ -484,10 +683,14 @@ func (b *nestBuilder) instance(si int, stmt *ir.Stmt) {
 	b.written[lhsElem] = true
 }
 
-// emitFinalize combines a pending reduction: contributors send their
-// partials to the accumulator's first owner, which folds them in
-// contributor order and redistributes the total to the other owners.
-func (b *nestBuilder) emitFinalize(e elemID) {
+// recordFinalize pops a pending reduction and records everything the
+// combine means for the NAIVE model — the per-element star's timeline
+// events (contributors send partials to the accumulator's first owner,
+// which folds them in contributor order and redistributes the total to
+// the other owners), the liveness site, and the written mark — without
+// choosing a transport lowering. replayStats stays bit-identical to
+// RunExact no matter how the value pass actually moves the partials.
+func (b *nestBuilder) recordFinalize(e elemID) *finOp {
 	contribs := b.pending[e]
 	idx := b.pendIdx[e]
 	delete(b.pending, e)
@@ -509,19 +712,81 @@ func (b *nestBuilder) emitFinalize(e elemID) {
 	}
 
 	f := &finOp{elem: e, contribs: contribs, owners: owners, root: root}
+	if b.s.pipeline {
+		b.s.noteFinalize(e, f)
+	}
+	b.written[e] = true
+	return f
+}
+
+// emitFinalize lowers one finalize as the legacy per-element star
+// (pipeline off): partials converge on the root one message each, the
+// total fans out to every other owner.
+func (b *nestBuilder) emitFinalize(e elemID) {
+	f := b.recordFinalize(e)
 	in := pinstr{op: opFin, fin: f}
-	b.cur[root] = append(b.cur[root], in)
-	for _, c := range contribs {
-		if c != root {
+	b.cur[f.root] = append(b.cur[f.root], in)
+	for _, c := range f.contribs {
+		if c != f.root {
 			b.cur[c] = append(b.cur[c], in)
 		}
 	}
-	for _, o := range owners {
-		if o != root && !contains(contribs, o) {
+	for _, o := range f.owners {
+		if o != f.root && !contains(f.contribs, o) {
 			b.cur[o] = append(b.cur[o], in)
 		}
 	}
-	b.written[e] = true
+}
+
+// emitBatch lowers a batch of finalizes. Pipeline off, each is a
+// per-element star. Pipeline on, the batch becomes one vectored
+// exchange: ring-lowered when mid-epoch and the items share one
+// root-anchored contributor chain (the Section 5 accumulate-then-sweep
+// shape — SOR), two-phase gather + fan-out otherwise. The opRed
+// instruction goes to every processor that could participate (roots,
+// contributors, owners); runtime roles are derived from the items, so
+// non-participants fall through without touching the wire.
+func (b *nestBuilder) emitBatch(elems []elemID, mid bool) {
+	if len(elems) == 0 {
+		return
+	}
+	if !b.s.pipeline {
+		for _, e := range elems {
+			b.emitFinalize(e)
+		}
+		return
+	}
+	items := make([]*finOp, len(elems))
+	for i, e := range elems {
+		items[i] = b.recordFinalize(e)
+	}
+	r := &redOp{items: items, ring: mid && ringEligible(items)}
+	var parts []int
+	for _, f := range items {
+		for _, p := range f.contribs {
+			if !contains(parts, p) {
+				parts = insertSorted(parts, p)
+			}
+		}
+		for _, p := range f.owners {
+			if !contains(parts, p) {
+				parts = insertSorted(parts, p)
+			}
+		}
+	}
+	in := pinstr{op: opRed, red: r}
+	for _, p := range parts {
+		b.cur[p] = append(b.cur[p], in)
+	}
+}
+
+func containsElem(xs []elemID, v elemID) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // closeEpoch freezes the current epoch: every processor's vectored
@@ -590,6 +855,11 @@ func (s *progSchedule) replayStats(iters int, cfg machine.Config) machine.Stats 
 	msgs := make([]int64, n)
 	words := make([]int64, n)
 	maxw := make([]int64, n)
+	// Per-pair counters, allocated on a processor's first send exactly
+	// like machine.Proc.notePair so the ProcStats snapshots DeepEqual
+	// the oracle's.
+	peerM := make([][]int64, n)
+	peerW := make([][]int64, n)
 	tr := cfg.Tracer
 	for it := 0; it < iters; it++ {
 		for _, ns := range s.nests {
@@ -620,6 +890,12 @@ func (s *progSchedule) replayStats(iters int, cfg machine.Config) machine.Stats 
 					if maxw[src] < 1 {
 						maxw[src] = 1
 					}
+					if peerM[src] == nil {
+						peerM[src] = make([]int64, n)
+						peerW[src] = make([]int64, n)
+					}
+					peerM[src][dst]++
+					peerW[src][dst]++
 					if tr != nil && arrival > before {
 						tr.Record(machine.Event{Proc: int(src), Kind: machine.EvSend, Start: before, End: arrival, Peer: int(dst), Words: 1})
 					}
@@ -636,7 +912,8 @@ func (s *progSchedule) replayStats(iters int, cfg machine.Config) machine.Stats 
 	var st machine.Stats
 	st.PerProc = make([]machine.ProcStats, n)
 	for r := 0; r < n; r++ {
-		st.PerProc[r] = machine.ProcStats{Clock: clock[r], Flops: flops[r], Messages: msgs[r], Words: words[r], MaxMsgWords: maxw[r]}
+		st.PerProc[r] = machine.ProcStats{Clock: clock[r], Flops: flops[r], Messages: msgs[r], Words: words[r], MaxMsgWords: maxw[r],
+			PeerMessages: peerM[r], PeerWords: peerW[r]}
 		if clock[r] > st.ParallelTime {
 			st.ParallelTime = clock[r]
 		}
@@ -645,6 +922,14 @@ func (s *progSchedule) replayStats(iters int, cfg machine.Config) machine.Stats 
 		st.Words += words[r]
 		if maxw[r] > st.MaxMsgWords {
 			st.MaxMsgWords = maxw[r]
+		}
+		for dst := range peerM[r] {
+			if peerM[r][dst] > st.MaxPairMessages {
+				st.MaxPairMessages = peerM[r][dst]
+			}
+			if peerW[r][dst] > st.MaxPairWords {
+				st.MaxPairWords = peerW[r][dst]
+			}
 		}
 	}
 	return st

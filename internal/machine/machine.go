@@ -101,6 +101,18 @@ const (
 	EvWait
 	// EvCollective is time inside a synchronous collective.
 	EvCollective
+	// EvGather marks the partial-gathering phase of a vectored
+	// reduction exchange (exec backend): one vectored partials message
+	// per contributing pair converging on each root.
+	EvGather
+	// EvFanout marks the total-distribution phase of a vectored
+	// reduction exchange: one vectored totals message per live reader
+	// pair.
+	EvFanout
+	// EvRing marks a Section 5 ring-pipelined reduction step: the
+	// running totals travelling neighbor-to-neighbor instead of
+	// converging on an owner.
+	EvRing
 )
 
 func (k EventKind) String() string {
@@ -113,6 +125,12 @@ func (k EventKind) String() string {
 		return "wait"
 	case EvCollective:
 		return "collective"
+	case EvGather:
+		return "gather"
+	case EvFanout:
+		return "fanout"
+	case EvRing:
+		return "ring"
 	}
 	return "event"
 }
@@ -181,6 +199,24 @@ type Proc struct {
 	messages    int64
 	words       int64
 	maxMsgWords int64
+	// peerMsgs/peerWords count outbound traffic per destination rank,
+	// allocated on the first counted send so idle processors stay
+	// allocation-free. Finalize traffic and operand ships go through the
+	// same Send path, so the per-pair columns are comparable across
+	// engines.
+	peerMsgs  []int64
+	peerWords []int64
+}
+
+// notePair records one counted outbound message on the (p, dst) pair.
+func (p *Proc) notePair(dst, words int) {
+	if p.peerMsgs == nil {
+		n := p.m.grid.Size()
+		p.peerMsgs = make([]int64, n)
+		p.peerWords = make([]int64, n)
+	}
+	p.peerMsgs[dst]++
+	p.peerWords[dst] += int64(words)
 }
 
 // Rank returns the linear rank of the processor ("who_am_i" in Fig 6).
@@ -239,6 +275,7 @@ func (p *Proc) Send(dst int, data []Word) {
 		if int64(len(data)) > p.maxMsgWords {
 			p.maxMsgWords = int64(len(data))
 		}
+		p.notePair(dst, len(data))
 		// The event covers the message's true transfer window: Start is
 		// when the sender initiated it, End is the arrival at the receiver.
 		// Under Overlap the sender's own clock only advances by Alpha (it
@@ -291,6 +328,7 @@ func (p *Proc) rawSend(dst int, data []Word, count bool) {
 		if int64(len(data)) > p.maxMsgWords {
 			p.maxMsgWords = int64(len(data))
 		}
+		p.notePair(dst, len(data))
 	}
 	select {
 	case p.m.links[p.rank*p.m.grid.Size()+dst] <- message{data: buf}:
@@ -344,6 +382,16 @@ func (p *Proc) RecvValue(src int) Word {
 	return d[0]
 }
 
+// Note records a custom trace event spanning [start, end] on this
+// processor if a tracer is attached. The exec backend uses it to mark
+// the gather / fan-out / ring phases of its vectored reduction
+// exchanges on the transport trace.
+func (p *Proc) Note(kind EventKind, start, end float64, peer, words int) {
+	if tr := p.m.cfg.Tracer; tr != nil && end > start {
+		tr.Record(Event{Proc: p.rank, Kind: kind, Start: start, End: end, Peer: peer, Words: words})
+	}
+}
+
 // Barrier synchronizes all processors of the machine and equalizes their
 // simulated clocks to the maximum (everyone waits for the slowest).
 func (p *Proc) Barrier() {
@@ -370,6 +418,12 @@ type Stats struct {
 	// sent — 1 for a per-element engine, the largest vectored exchange
 	// for a batching one.
 	MaxMsgWords int64
+	// MaxPairMessages / MaxPairWords are the heaviest ordered processor
+	// pair's message and word counts — the hot-link load. Like
+	// MaxMsgWords they count finalize traffic and operand ships
+	// uniformly, so they compare across engines.
+	MaxPairMessages int64
+	MaxPairWords    int64
 	// PerProc holds the final per-processor snapshots indexed by rank.
 	PerProc []ProcStats
 }
@@ -381,6 +435,10 @@ type ProcStats struct {
 	Messages    int64
 	Words       int64
 	MaxMsgWords int64
+	// PeerMessages/PeerWords break the outbound counters down by
+	// destination rank (nil when this processor sent nothing).
+	PeerMessages []int64
+	PeerWords    []int64
 }
 
 // MaxFlops returns the largest per-processor flop count — the computation
@@ -433,7 +491,8 @@ func (m *Machine) Run(body func(p *Proc)) (Stats, error) {
 	var st Stats
 	st.PerProc = make([]ProcStats, n)
 	for r, p := range procs {
-		st.PerProc[r] = ProcStats{Clock: p.clock, Flops: p.flops, Messages: p.messages, Words: p.words, MaxMsgWords: p.maxMsgWords}
+		st.PerProc[r] = ProcStats{Clock: p.clock, Flops: p.flops, Messages: p.messages, Words: p.words, MaxMsgWords: p.maxMsgWords,
+			PeerMessages: p.peerMsgs, PeerWords: p.peerWords}
 		if p.clock > st.ParallelTime {
 			st.ParallelTime = p.clock
 		}
@@ -442,6 +501,14 @@ func (m *Machine) Run(body func(p *Proc)) (Stats, error) {
 		st.Words += p.words
 		if p.maxMsgWords > st.MaxMsgWords {
 			st.MaxMsgWords = p.maxMsgWords
+		}
+		for dst := range p.peerMsgs {
+			if p.peerMsgs[dst] > st.MaxPairMessages {
+				st.MaxPairMessages = p.peerMsgs[dst]
+			}
+			if p.peerWords[dst] > st.MaxPairWords {
+				st.MaxPairWords = p.peerWords[dst]
+			}
 		}
 	}
 	for _, err := range errs {

@@ -180,6 +180,8 @@ func parseBenchExec(results []map[string]any, m, n int) ([]baseRow, error) {
 		"transport_messages": "transport_messages",
 		"transport_words":    "transport_words",
 		"max_msg_words":      "max_msg_words",
+		"max_pair_messages":  "max_pair_messages",
+		"max_pair_words":     "max_pair_words",
 	}
 	var out []baseRow
 	for _, r := range results {

@@ -78,18 +78,19 @@ func (r *Result) WriteCSV(w io.Writer) error {
 				int64(row.Wall["eval_ns"]))
 		}
 	case "exec":
-		fmt.Fprintln(w, "prog,engine,m,n,wall_ns,simtime,messages,words,transport_messages,transport_words,max_msg_words")
+		fmt.Fprintln(w, "prog,engine,m,n,wall_ns,simtime,messages,words,transport_messages,transport_words,max_msg_words,max_pair_messages,max_pair_words")
 		for _, row := range r.Rows {
 			prog, engine := row.Variant, ""
 			if i := strings.IndexByte(prog, '/'); i >= 0 {
 				prog, engine = prog[:i], prog[i+1:]
 			}
-			fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.0f,%d,%d,%d,%d,%d\n",
+			fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.0f,%d,%d,%d,%d,%d,%d,%d\n",
 				prog, engine, row.M, row.N,
 				int64(row.Wall["wall_ns"]), row.Metrics["simtime"],
 				int64(row.Metrics["messages"]), int64(row.Metrics["words"]),
 				int64(row.Metrics["transport_messages"]), int64(row.Metrics["transport_words"]),
-				int64(row.Metrics["max_msg_words"]))
+				int64(row.Metrics["max_msg_words"]),
+				int64(row.Metrics["max_pair_messages"]), int64(row.Metrics["max_pair_words"]))
 		}
 	default: // kernel sweeps
 		fmt.Fprintln(w, "variant,m,n,simtime,words,maxflops")

@@ -61,6 +61,11 @@ type Options struct {
 	Workers int
 	// Warnf receives non-fatal diagnostics; nil silences them.
 	Warnf func(format string, args ...any)
+	// NoPipeline disables the vectored two-phase / ring reduction
+	// exchange in the exec sweep's batched engine (exec.Options), for
+	// A/B comparisons against the pre-pipelining transport. Part of the
+	// cache key, so both variants coexist in the store.
+	NoPipeline bool
 }
 
 func (o Options) warnf(format string, args ...any) {
@@ -487,15 +492,22 @@ func Exec(mList, nList []int, opt Options) (*Result, error) {
 						// crutch the batched engine removes.
 						cfg.ChanCap = m * m
 					}
+					keyParts := []string{"kind=exec", "prog=" + core.ProgramHash(pr.mk()),
+						"engine=" + engine, fmt.Sprintf("m=%d", m), fmt.Sprintf("n=%d", n),
+						fmt.Sprintf("iters=%d;omega=%g", pr.iters, pr.scalars["OMEGA"]),
+						"machine=" + cfg.Fingerprint()}
+					if engine == "batched" && opt.NoPipeline {
+						// The default (pipelined) key stays byte-stable so
+						// pre-existing cache entries remain valid.
+						keyParts = append(keyParts, "pipeline=off")
+					}
+					noPipe := opt.NoPipeline
 					pts = append(pts, point{
 						variant: pr.name + "/" + engine, m: m, n: n,
-						key: artifact.KeyOf("kind=exec", "prog="+core.ProgramHash(pr.mk()),
-							"engine="+engine, fmt.Sprintf("m=%d", m), fmt.Sprintf("n=%d", n),
-							fmt.Sprintf("iters=%d;omega=%g", pr.iters, pr.scalars["OMEGA"]),
-							"machine="+cfg.Fingerprint()),
+						key:     artifact.KeyOf(keyParts...),
 						wallCol: "wall_ns",
 						compute: func() (map[string]float64, error) {
-							return execPoint(pr.mk(), pr.scalars, pr.iters, pr.x0, engine, m, n, cfg)
+							return execPoint(pr.mk(), pr.scalars, pr.iters, pr.x0, engine, m, n, cfg, noPipe)
 						},
 					})
 				}
@@ -509,7 +521,7 @@ func Exec(mList, nList []int, opt Options) (*Result, error) {
 	return &Result{Kind: "exec", Rows: rows}, nil
 }
 
-func execPoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, engine string, m, n int, cfg machine.Config) (map[string]float64, error) {
+func execPoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, engine string, m, n int, cfg machine.Config, noPipe bool) (map[string]float64, error) {
 	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
 	_, ss, err := c.SegmentCost(1, len(p.Nests))
 	if err != nil {
@@ -531,7 +543,8 @@ func execPoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, en
 	if engine == "exact" {
 		res, err = exec.RunExact(p, ss, bind, scalars, iters, cfg, input)
 	} else {
-		res, err = exec.Run(p, ss, bind, scalars, iters, cfg, input)
+		res, err = exec.RunOpts(p, ss, bind, scalars, iters, cfg, input,
+			exec.Options{NoPipeline: noPipe})
 	}
 	if err != nil {
 		return nil, err
@@ -543,5 +556,7 @@ func execPoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, en
 		"transport_messages": float64(res.Transport.Messages),
 		"transport_words":    float64(res.Transport.Words),
 		"max_msg_words":      float64(res.Transport.MaxMsgWords),
+		"max_pair_messages":  float64(res.Transport.MaxPairMessages),
+		"max_pair_words":     float64(res.Transport.MaxPairWords),
 	}, nil
 }
