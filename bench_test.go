@@ -43,7 +43,11 @@ func BenchmarkTable1Primitives(b *testing.B) {
 	run := func(b *testing.B, body func(p *machine.Proc)) {
 		var last machine.Stats
 		for i := 0; i < b.N; i++ {
-			st, err := machine.New(g, machine.DefaultConfig()).Run(body)
+			mach, err := machine.New(g, machine.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := mach.Run(body)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -637,10 +641,29 @@ func BenchmarkExecBatchedVsExact(b *testing.B) {
 		input.Store("B", []int{i}, rhs[i-1])
 	}
 	bind := map[string]int{"m": m}
+	// "batched" is pinned to the goroutine runtime so its ns/op stays
+	// comparable with the historical arm; "events" is the same schedule
+	// under the discrete-event runtime (deterministic metrics match
+	// bit-for-bit, ns/op shows the engine gap).
 	b.Run("batched", func(b *testing.B) {
 		var last exec.Result
 		for i := 0; i < b.N; i++ {
-			res, err := exec.Run(prog, ss, bind, nil, 1, machine.DefaultConfig(), input)
+			res, err := exec.RunOpts(prog, ss, bind, nil, 1, machine.DefaultConfig(), input,
+				exec.Options{Engine: exec.EngineGoroutines})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(last.Stats.ParallelTime, "simtime")
+		b.ReportMetric(float64(last.Transport.Messages), "transportmsgs")
+		b.ReportMetric(float64(last.Transport.MaxMsgWords), "maxmsgwords")
+	})
+	b.Run("events", func(b *testing.B) {
+		var last exec.Result
+		for i := 0; i < b.N; i++ {
+			res, err := exec.RunOpts(prog, ss, bind, nil, 1, machine.DefaultConfig(), input,
+				exec.Options{Engine: exec.EngineEvents})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -687,7 +710,22 @@ func BenchmarkExecBatchedVsExact(b *testing.B) {
 	b.Run("sor-batched", func(b *testing.B) {
 		var last exec.Result
 		for i := 0; i < b.N; i++ {
-			res, err := exec.Run(sor, sss, bind, omega, sorIters, machine.DefaultConfig(), sorInput)
+			res, err := exec.RunOpts(sor, sss, bind, omega, sorIters, machine.DefaultConfig(), sorInput,
+				exec.Options{Engine: exec.EngineGoroutines})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(last.Stats.ParallelTime, "simtime")
+		b.ReportMetric(float64(last.Transport.Messages), "transportmsgs")
+		b.ReportMetric(float64(last.Transport.MaxMsgWords), "maxmsgwords")
+	})
+	b.Run("sor-events", func(b *testing.B) {
+		var last exec.Result
+		for i := 0; i < b.N; i++ {
+			res, err := exec.RunOpts(sor, sss, bind, omega, sorIters, machine.DefaultConfig(), sorInput,
+				exec.Options{Engine: exec.EngineEvents})
 			if err != nil {
 				b.Fatal(err)
 			}

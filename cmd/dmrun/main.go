@@ -14,6 +14,9 @@
 //	flags: -overlap (comm/comp overlap), -async (asynchronous collectives),
 //	       -trace (per-processor time breakdown + Gantt chart),
 //	       -chancap (exec: per-link channel capacity in messages),
+//	       -engine=auto|events|goroutines (exec: transport runtime; auto
+//	                        picks the discrete-event engine unless -trace
+//	                        needs the live goroutine interleaving),
 //	       -pipeline=false (exec: per-element finalizes instead of the
 //	                        vectored two-phase / ring reduction exchange),
 //	       -cpuprofile / -memprofile (write pprof profiles)
@@ -45,6 +48,7 @@ func main() {
 	naive := flag.Bool("naive", false, "SOR: reduction-per-step instead of pipeline")
 	broadcast := flag.Bool("broadcast", false, "gauss: multicast instead of pipeline")
 	execBackend := flag.Bool("exec", false, "run the IR program through the exec backend (jacobi, sor, gauss)")
+	engineName := flag.String("engine", "auto", "exec backend transport runtime: auto, events, goroutines")
 	chanCap := flag.Int("chancap", 0, "exec backend: per-link channel capacity in messages (0 = default)")
 	overlap := flag.Bool("overlap", false, "overlap communication with computation")
 	async := flag.Bool("async", false, "asynchronous collectives instead of the paper's synchronous model")
@@ -78,7 +82,11 @@ func main() {
 	}
 
 	if *execBackend {
-		err = runExec(*kernel, cfg, *m, *n, *iters, *seed, !*pipeline)
+		var engine exec.Engine
+		engine, err = parseEngine(*engineName)
+		if err == nil {
+			err = runExec(*kernel, cfg, *m, *n, *iters, *seed, !*pipeline, engine)
+		}
 	} else {
 		err = run(*kernel, cfg, *m, *n, *n2, *iters, *naive, *broadcast, *seed)
 	}
@@ -171,7 +179,20 @@ func run(kernel string, cfg machine.Config, m, n, n2, iters int, naive, broadcas
 // Algorithm 1's segment cost), executes it on the batched exec backend,
 // verifies against the sequential reference, and reports both the naive
 // cost model's statistics and what the vectored transport actually moved.
-func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64, noPipe bool) error {
+// parseEngine maps the -engine flag value onto an exec.Engine.
+func parseEngine(name string) (exec.Engine, error) {
+	switch name {
+	case "auto":
+		return exec.EngineAuto, nil
+	case "events":
+		return exec.EngineEvents, nil
+	case "goroutines":
+		return exec.EngineGoroutines, nil
+	}
+	return exec.EngineAuto, fmt.Errorf("unknown -engine %q (want auto, events or goroutines)", name)
+}
+
+func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64, noPipe bool, engine exec.Engine) error {
 	a, b, _ := matrix.DiagonallyDominant(m, seed)
 	var p *ir.Program
 	var scalars map[string]float64
@@ -209,7 +230,7 @@ func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64, noP
 		}
 	}
 	res, err := exec.RunOpts(p, ss, map[string]int{"m": m}, scalars, iters, cfg, input,
-		exec.Options{NoPipeline: noPipe})
+		exec.Options{NoPipeline: noPipe, Engine: engine})
 	if err != nil {
 		return err
 	}

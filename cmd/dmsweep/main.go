@@ -27,6 +27,15 @@
 //	                                            -pipeline=false reverts the
 //	                                            batched arm to per-element
 //	                                            finalizes)
+//	dmsweep -sweep scale -m 64 -n 256,1024,4096 (large-N engine scaling:
+//	                                            the batched backend under
+//	                                            the discrete-event runtime
+//	                                            at every N, and under the
+//	                                            goroutine runtime up to
+//	                                            N=256; wall_ns/sim_ns
+//	                                            columns show the scaling
+//	                                            gap, deterministic metrics
+//	                                            are identical)
 //
 // Profiling: -cpuprofile prof.cpu / -memprofile prof.mem write pprof
 // profiles of the sweep itself.
@@ -61,7 +70,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("sweep", "sor", "sor, gauss, jacobi, stencil, chunks, compile, symbolic, exec")
+	kind := flag.String("sweep", "sor", "sor, gauss, jacobi, stencil, chunks, compile, symbolic, exec, scale")
 	ms := flag.String("m", "32,64,128", "comma-separated problem sizes")
 	ns := flag.String("n", "4,8", "comma-separated processor counts")
 	ss := flag.String("s", "4,8,16", "comma-separated nest-sequence lengths (compile sweep)")
@@ -123,6 +132,8 @@ func main() {
 		res, err = sweep.Symbolic(mList, nList, opt)
 	case "exec":
 		res, err = sweep.Exec(mList, nList, opt)
+	case "scale":
+		res, err = sweep.Scale(mList, nList, opt)
 	default:
 		res, err = sweep.Kernel(*kind, mList, nList, opt)
 	}

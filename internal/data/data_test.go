@@ -11,7 +11,11 @@ import (
 
 func runMachine(t *testing.T, g *grid.Grid, body func(p *machine.Proc)) machine.Stats {
 	t.Helper()
-	st, err := machine.New(g, machine.DefaultConfig()).Run(body)
+	mach, err := machine.New(g, machine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mach.Run(body)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,7 +38,10 @@ func RunExact(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars ma
 
 	nprocs := ss.Grid.Size()
 	locals := make([]ir.Storage, nprocs)
-	mach := machine.New(ss.Grid, cfg)
+	mach, err := machine.New(ss.Grid, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 
 	st, err := mach.Run(func(proc *machine.Proc) {
 		e := &engine{

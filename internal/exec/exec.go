@@ -30,6 +30,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"dmcc/internal/core"
 	"dmcc/internal/ir"
@@ -50,10 +51,45 @@ type Result struct {
 	// non-reader owner would have received — MaxMsgWords up to a full
 	// epoch block); for RunExact it equals Stats.
 	Transport machine.Stats
+	// SimWall is the wall-clock time of the engine-dependent phase —
+	// constructing the transport machine and running the schedules on it
+	// — excluding schedule building, stats replay and result assembly,
+	// which are identical across engines. The scale sweep reports it as
+	// the engines' like-for-like wall-clock comparison.
+	SimWall time.Duration
+}
+
+// Engine selects the runtime that moves the batched transport.
+type Engine int
+
+const (
+	// EngineAuto picks the discrete-event runtime unless a
+	// TransportTracer is attached (trace consumers keep the goroutine
+	// runtime, whose live interleaving is what the traces depict).
+	EngineAuto Engine = iota
+	// EngineEvents is the discrete-event runtime (machine.EventMachine):
+	// sparse per-pair queues, one runnable processor at a time, feasible
+	// at N in the thousands. Stats and values are bit-identical to the
+	// goroutine runtime.
+	EngineEvents
+	// EngineGoroutines is the live goroutine runtime (machine.Machine),
+	// kept as the semantics oracle exactly like RunExact.
+	EngineGoroutines
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineEvents:
+		return "events"
+	case EngineGoroutines:
+		return "goroutines"
+	}
+	return "auto"
 }
 
 // Options tune the batched engine's transport. The zero value is the
-// default configuration: pipelined finalizes on, no transport tracer.
+// default configuration: pipelined finalizes on, no transport tracer,
+// automatic engine choice.
 type Options struct {
 	// NoPipeline disables the vectored two-phase / ring reduction
 	// exchange, reverting every finalize to a per-element star (the
@@ -66,6 +102,9 @@ type Options struct {
 	// EvRing). This is distinct from cfg.Tracer, which traces the naive
 	// per-element model that Stats describes.
 	TransportTracer machine.Tracer
+	// Engine picks the transport runtime; EngineAuto (the zero value)
+	// selects events unless TransportTracer is set.
+	Engine Engine
 }
 
 // validate performs the shared pre-flight checks of both engines.
@@ -125,10 +164,10 @@ func RunOpts(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars map
 	vcfg.Tracer = opt.TransportTracer
 	stores := make([][][]float64, nprocs)
 	marks := make([][][]bool, nprocs)
-	mach := machine.New(ss.Grid, vcfg)
-	transport, err := mach.Run(func(proc *machine.Proc) {
+	loads := buildLoads(sched, input)
+	body := func(proc machine.Port) {
 		x := newValExec(sched, proc, scalars)
-		x.loadInput(input)
+		x.installInput(loads)
 		for it := 0; it < iters; it++ {
 			for _, ns := range sched.nests {
 				x.runNest(ns)
@@ -136,10 +175,35 @@ func RunOpts(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars map
 		}
 		stores[x.me] = x.store
 		marks[x.me] = x.has
-	})
-	if err != nil {
-		return Result{}, err
 	}
+	engine := opt.Engine
+	if engine == EngineAuto {
+		if opt.TransportTracer != nil {
+			engine = EngineGoroutines
+		} else {
+			engine = EngineEvents
+		}
+	}
+	var transport machine.Stats
+	simStart := time.Now()
+	if engine == EngineGoroutines {
+		mach, err := machine.New(ss.Grid, vcfg)
+		if err != nil {
+			return Result{}, err
+		}
+		if transport, err = mach.Run(func(proc *machine.Proc) { body(proc) }); err != nil {
+			return Result{}, err
+		}
+	} else {
+		mach, err := machine.NewEvent(ss.Grid, vcfg)
+		if err != nil {
+			return Result{}, err
+		}
+		if transport, err = mach.Run(func(proc *machine.EventProc) { body(proc) }); err != nil {
+			return Result{}, err
+		}
+	}
+	simWall := time.Since(simStart)
 
 	// Timing pass: replay the per-element engine's event timeline
 	// single-threadedly. The naive cost model is value-independent, so
@@ -147,18 +211,30 @@ func RunOpts(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars map
 	stats := sched.replayStats(iters, cfg)
 
 	// Assemble the global state: each element from its first owner.
+	// Ranks are scanned outermost in ascending order and an element is
+	// filled only once, which is the same first-owner rule as the old
+	// per-element rank scan but skips the (many, at large N) processors
+	// whose lazily-allocated marks for an array were never touched.
 	out := ir.NewStorage(p)
+	filled := make([][]bool, len(sched.arrays))
 	for a, am := range sched.arrays {
-		elems := out[am.name]
-		for off := 0; off < am.size; off++ {
-			for r := 0; r < nprocs; r++ {
-				if marks[r][a][off] {
+		filled[a] = make([]bool, am.size)
+	}
+	for r := 0; r < nprocs; r++ {
+		for a, am := range sched.arrays {
+			mk := marks[r][a]
+			if mk == nil {
+				continue
+			}
+			elems := out[am.name]
+			for off, ok := range mk {
+				if ok && !filled[a][off] {
+					filled[a][off] = true
 					_, idx := sched.decode(mkElem(a, off))
 					elems[subKey(idx)] = stores[r][a][off]
-					break
 				}
 			}
 		}
 	}
-	return Result{Values: out, Stats: stats, Transport: transport}, nil
+	return Result{Values: out, Stats: stats, Transport: transport, SimWall: simWall}, nil
 }

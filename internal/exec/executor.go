@@ -10,27 +10,37 @@ package exec
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"dmcc/internal/dist"
 	"dmcc/internal/ir"
 	"dmcc/internal/machine"
 )
 
-// valExec is one processor's value-pass state.
+// valExec is one processor's value-pass state. proc is a machine.Port,
+// so the same executor body runs on the goroutine runtime and the
+// discrete-event runtime. All per-peer state is sparse (maps keyed by
+// live peers) and the dense per-array stores materialize on first
+// touch: at N=4096 a processor typically owns a handful of elements
+// and talks to a handful of neighbours, and pre-sizing any of this by
+// nprocs would make the executor itself the memory bottleneck the
+// event runtime exists to remove.
 type valExec struct {
 	s       *progSchedule
-	proc    *machine.Proc
+	proc    machine.Port
 	me      int
 	scalars map[string]float64
-	// store/has are the dense per-array local stores; has marks
+	// store/has are the per-array local stores, nil until the processor
+	// first writes or receives an element of that array; has marks
 	// elements this processor actually wrote or received, for the
 	// first-owner result assembly.
 	store [][]float64
 	has   [][]bool
 	// partials holds running partial sums of reduce statements.
 	partials map[elemID]float64
-	// bufs[src] is the current epoch's vectored buffer from src, with a
-	// consumption cursor.
-	bufs []vbuf
+	// bufs holds the current epoch's vectored buffer per live source,
+	// with a consumption cursor.
+	bufs map[int]*vbuf
 	// env is the reusable loop binding for RHS evaluation.
 	env    map[string]int
 	loadFn func(ir.Ref, []int) float64
@@ -44,11 +54,13 @@ type valExec struct {
 	// Vectored-reduction scratch: per-destination build buffers,
 	// per-source receive buffers with cursors and expected counts, and
 	// the ring hop vector.
-	rsend [][]machine.Word
-	rrecv [][]machine.Word
-	rpos  []int
-	rneed []int
+	rsend map[int][]machine.Word
+	rrecv map[int]*vbuf
+	rneed map[int]int
 	rvec  []machine.Word
+	// keys is the sorted-peer iteration scratch of flushSends and
+	// drainRecvs (map order is random; the wire order must not be).
+	keys []int
 }
 
 type vbuf struct {
@@ -56,51 +68,150 @@ type vbuf struct {
 	pos  int
 }
 
-func newValExec(s *progSchedule, proc *machine.Proc, scalars map[string]float64) *valExec {
+func newValExec(s *progSchedule, proc machine.Port, scalars map[string]float64) *valExec {
 	x := &valExec{
 		s: s, proc: proc, me: proc.Rank(), scalars: scalars,
 		store:    make([][]float64, len(s.arrays)),
 		has:      make([][]bool, len(s.arrays)),
 		partials: make(map[elemID]float64),
-		bufs:     make([]vbuf, s.nprocs),
+		bufs:     make(map[int]*vbuf),
 		env:      bindEnv(s.bind),
 		curVals:  make([]float64, 0, 8),
-		rsend:    make([][]machine.Word, s.nprocs),
-		rrecv:    make([][]machine.Word, s.nprocs),
-		rpos:     make([]int, s.nprocs),
-		rneed:    make([]int, s.nprocs),
-	}
-	for a, am := range s.arrays {
-		x.store[a] = make([]float64, am.size)
-		x.has[a] = make([]bool, am.size)
+		rsend:    make(map[int][]machine.Word),
+		rrecv:    make(map[int]*vbuf),
+		rneed:    make(map[int]int),
 	}
 	x.loadFn = x.load
 	return x
 }
 
-// loadInput installs the owned (and replicated) slice of the initial
-// array contents, free of charge (input distribution cost is measured
-// separately by package data).
-func (x *valExec) loadInput(input ir.Storage) {
-	for name, elems := range input {
-		sch, ok := x.s.ss.Schemes[name]
-		if !ok {
+// ensure materializes array a's dense store on first touch.
+func (x *valExec) ensure(a int) {
+	if x.store[a] == nil {
+		x.store[a] = make([]float64, x.s.arrays[a].size)
+		x.has[a] = make([]bool, x.s.arrays[a].size)
+	}
+}
+
+// buf returns the (created-on-demand) epoch buffer for source src.
+func (x *valExec) buf(src int) *vbuf {
+	b := x.bufs[src]
+	if b == nil {
+		b = &vbuf{}
+		x.bufs[src] = b
+	}
+	return b
+}
+
+// rbuf returns the (created-on-demand) reduction receive buffer for src.
+func (x *valExec) rbuf(src int) *vbuf {
+	b := x.rrecv[src]
+	if b == nil {
+		b = &vbuf{}
+		x.rrecv[src] = b
+	}
+	return b
+}
+
+// inputLoads is the pre-decoded initial state, bucketed by owner
+// coordinates: one shared structure per run, read by every processor.
+// The old per-processor loadInput re-parsed every input key and asked
+// IsOwner per (processor, element) — an O(nprocs * elements) scan with
+// string parsing inside, which at N=256 already dominated whole-run
+// profiles and at N=4096 dwarfs the simulation itself. Here the input
+// is decoded once: each element's owner coordinates fold (over the grid
+// dimensions the scheme does not replicate along) into an integer
+// bucket key, and a processor installs exactly the buckets matching its
+// own coordinates.
+type inputLoads struct {
+	arrays []arrayLoads
+}
+
+// arrayLoads buckets one array's initial elements. allDim[d] marks grid
+// dimensions the scheme replicates along (owner coordinate All): those
+// are skipped by the fold, so every processor along them reads the same
+// bucket. The mask is per-scheme constant — All entries come from
+// Replicated dims and Fixed[d]=All, never from the subscripts.
+type arrayLoads struct {
+	allDim []bool
+	bucket map[int][]elemVal
+}
+
+type elemVal struct {
+	elem elemID
+	val  float64
+}
+
+// buildLoads decodes and buckets the initial array contents. Arrays
+// without a scheme are skipped, like the old loadInput.
+func buildLoads(s *progSchedule, input ir.Storage) *inputLoads {
+	g := s.ss.Grid
+	loads := &inputLoads{arrays: make([]arrayLoads, len(s.arrays))}
+	for a, am := range s.arrays {
+		elems := input[am.name]
+		sch, ok := s.ss.Schemes[am.name]
+		if !ok || len(elems) == 0 {
 			continue
 		}
+		al := arrayLoads{bucket: make(map[int][]elemVal)}
 		for key, v := range elems {
 			idx := parseKey(key)
-			if sch.IsOwner(x.s.ss.Grid, x.me, idx...) {
-				e := x.s.elemOf(name, idx)
-				x.store[e.arr()][e.off()] = v
-				x.has[e.arr()][e.off()] = true
+			coords := sch.GridCoords(g, idx...)
+			if al.allDim == nil {
+				al.allDim = make([]bool, g.Q())
+				for d, c := range coords {
+					al.allDim[d] = c == dist.All
+				}
 			}
+			k := 0
+			for d, c := range coords {
+				if al.allDim[d] {
+					continue
+				}
+				k = k*g.Extent(d) + c
+			}
+			al.bucket[k] = append(al.bucket[k], elemVal{s.elemOf(am.name, idx), v})
+		}
+		loads.arrays[a] = al
+	}
+	return loads
+}
+
+// installInput installs this processor's slice of the pre-bucketed
+// initial state, free of charge (input distribution cost is measured
+// separately by package data).
+func (x *valExec) installInput(loads *inputLoads) {
+	g := x.s.ss.Grid
+	for a := range loads.arrays {
+		al := &loads.arrays[a]
+		if al.bucket == nil {
+			continue
+		}
+		k := 0
+		for d := 0; d < g.Q(); d++ {
+			if al.allDim[d] {
+				continue
+			}
+			k = k*g.Extent(d) + g.Coord(x.me, d)
+		}
+		for _, ev := range al.bucket[k] {
+			x.storeElem(ev.elem, ev.val)
 		}
 	}
 }
 
-func (x *valExec) loadElem(e elemID) float64 { return x.store[e.arr()][e.off()] }
+// loadElem reads an element of the local store; never-touched arrays
+// read as zero, matching the dense store's (and the old engine map's)
+// default.
+func (x *valExec) loadElem(e elemID) float64 {
+	if s := x.store[e.arr()]; s != nil {
+		return s[e.off()]
+	}
+	return 0
+}
 
 func (x *valExec) storeElem(e elemID, v float64) {
+	x.ensure(e.arr())
 	x.store[e.arr()][e.off()] = v
 	x.has[e.arr()][e.off()] = true
 }
@@ -138,7 +249,7 @@ func (x *valExec) runNest(ns *nestSchedule) {
 				x.proc.Send(int(snd.dst), x.gather)
 			}
 			for _, rcv := range f.recvs {
-				b := &x.bufs[rcv.src]
+				b := x.buf(int(rcv.src))
 				if b.pos != len(b.data) {
 					panic(fmt.Sprintf("exec: vectored buffer from %d not drained (%d of %d words)", rcv.src, b.pos, len(b.data)))
 				}
@@ -171,7 +282,7 @@ func (x *valExec) eval(ns *nestSchedule, in *pinstr) {
 		if sl.direct {
 			v = x.proc.RecvValue(int(sl.src))
 		} else {
-			b := &x.bufs[sl.src]
+			b := x.buf(int(sl.src))
 			if b.pos >= len(b.data) {
 				panic(fmt.Sprintf("exec: vectored buffer from %d underflow", sl.src))
 			}
@@ -239,12 +350,18 @@ func (x *valExec) finalize(f *finOp) {
 // ascending destination order and returns the words sent.
 func (x *valExec) flushSends() int {
 	sent := 0
-	for dst := range x.rsend {
-		if len(x.rsend[dst]) > 0 {
-			x.proc.Send(dst, x.rsend[dst])
-			sent += len(x.rsend[dst])
-			x.rsend[dst] = x.rsend[dst][:0]
+	x.keys = x.keys[:0]
+	for dst, b := range x.rsend {
+		if len(b) > 0 {
+			x.keys = append(x.keys, dst)
 		}
+	}
+	sort.Ints(x.keys)
+	for _, dst := range x.keys {
+		b := x.rsend[dst]
+		x.proc.Send(dst, b)
+		sent += len(b)
+		x.rsend[dst] = b[:0]
 	}
 	return sent
 }
@@ -252,25 +369,31 @@ func (x *valExec) flushSends() int {
 // drainRecvs receives one vectored message per source with a nonzero
 // expected count, in ascending source order, resetting the counts.
 func (x *valExec) drainRecvs(what string) {
-	for src := range x.rneed {
-		if x.rneed[src] == 0 {
-			continue
+	x.keys = x.keys[:0]
+	for src, need := range x.rneed {
+		if need > 0 {
+			x.keys = append(x.keys, src)
 		}
-		if x.rpos[src] != len(x.rrecv[src]) {
-			panic(fmt.Sprintf("exec: %s buffer from %d not drained (%d of %d words)", what, src, x.rpos[src], len(x.rrecv[src])))
+	}
+	sort.Ints(x.keys)
+	for _, src := range x.keys {
+		b := x.rbuf(src)
+		if b.pos != len(b.data) {
+			panic(fmt.Sprintf("exec: %s buffer from %d not drained (%d of %d words)", what, src, b.pos, len(b.data)))
 		}
 		data := x.proc.Recv(src)
 		if len(data) != x.rneed[src] {
 			panic(fmt.Sprintf("exec: %s exchange from %d expected %d words, got %d", what, src, x.rneed[src], len(data)))
 		}
-		x.rrecv[src], x.rpos[src] = data, 0
+		b.data, b.pos = data, 0
 		x.rneed[src] = 0
 	}
 }
 
 func (x *valExec) popRecv(src int) machine.Word {
-	v := x.rrecv[src][x.rpos[src]]
-	x.rpos[src]++
+	b := x.rrecv[src]
+	v := b.data[b.pos]
+	b.pos++
 	return v
 }
 

@@ -855,11 +855,9 @@ func (s *progSchedule) replayStats(iters int, cfg machine.Config) machine.Stats 
 	msgs := make([]int64, n)
 	words := make([]int64, n)
 	maxw := make([]int64, n)
-	// Per-pair counters, allocated on a processor's first send exactly
-	// like machine.Proc.notePair so the ProcStats snapshots DeepEqual
-	// the oracle's.
-	peerM := make([][]int64, n)
-	peerW := make([][]int64, n)
+	// Per-pair counters use the same sparse machine.PairTally as both
+	// runtimes, so the ProcStats snapshots DeepEqual the oracle's.
+	pairs := make([]machine.PairTally, n)
 	tr := cfg.Tracer
 	for it := 0; it < iters; it++ {
 		for _, ns := range s.nests {
@@ -876,26 +874,14 @@ func (s *progSchedule) replayStats(iters int, cfg machine.Config) machine.Stats 
 				case tXfer:
 					src, dst := op.a, op.b
 					before := clock[src]
-					transfer := cfg.Tc * float64(1)
 					var arrival float64
-					if cfg.Overlap {
-						clock[src] += cfg.Alpha
-						arrival = clock[src] + transfer
-					} else {
-						clock[src] += cfg.Alpha + transfer
-						arrival = clock[src]
-					}
+					clock[src], arrival = cfg.SendTiming(clock[src], 1)
 					msgs[src]++
 					words[src]++
 					if maxw[src] < 1 {
 						maxw[src] = 1
 					}
-					if peerM[src] == nil {
-						peerM[src] = make([]int64, n)
-						peerW[src] = make([]int64, n)
-					}
-					peerM[src][dst]++
-					peerW[src][dst]++
+					pairs[src].Note(int(dst), 1)
 					if tr != nil && arrival > before {
 						tr.Record(machine.Event{Proc: int(src), Kind: machine.EvSend, Start: before, End: arrival, Peer: int(dst), Words: 1})
 					}
@@ -913,24 +899,8 @@ func (s *progSchedule) replayStats(iters int, cfg machine.Config) machine.Stats 
 	st.PerProc = make([]machine.ProcStats, n)
 	for r := 0; r < n; r++ {
 		st.PerProc[r] = machine.ProcStats{Clock: clock[r], Flops: flops[r], Messages: msgs[r], Words: words[r], MaxMsgWords: maxw[r],
-			PeerMessages: peerM[r], PeerWords: peerW[r]}
-		if clock[r] > st.ParallelTime {
-			st.ParallelTime = clock[r]
-		}
-		st.Flops += flops[r]
-		st.Messages += msgs[r]
-		st.Words += words[r]
-		if maxw[r] > st.MaxMsgWords {
-			st.MaxMsgWords = maxw[r]
-		}
-		for dst := range peerM[r] {
-			if peerM[r][dst] > st.MaxPairMessages {
-				st.MaxPairMessages = peerM[r][dst]
-			}
-			if peerW[r][dst] > st.MaxPairWords {
-				st.MaxPairWords = peerW[r][dst]
-			}
-		}
+			Peers: pairs[r].Snapshot()}
+		st.AddProc(st.PerProc[r])
 	}
 	return st
 }

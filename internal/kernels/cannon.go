@@ -35,7 +35,10 @@ func Cannon(cfg machine.Config, bMat, cMat *matrix.Dense, q int) (*matrix.Dense,
 	if cfgAdj.ChanCap < 4 {
 		cfgAdj.ChanCap = 4
 	}
-	mach := machine.New(g, cfgAdj)
+	mach, err := machine.New(g, cfgAdj)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	out := matrix.NewDense(m, m)
 
 	extract := func(src *matrix.Dense, bi, bj int) []machine.Word {

@@ -104,7 +104,10 @@ func GaussBroadcast(cfg machine.Config, a *matrix.Dense, b []float64, n int) (Re
 		return Result{}, err
 	}
 	gr := grid.New(n)
-	mach := machine.New(gr, cfg)
+	mach, err := machine.New(gr, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	w := newDisjointWriter(m)
 
 	st, err := mach.Run(func(p *machine.Proc) {

@@ -52,7 +52,10 @@ func gaussPipelineRun(cfg machine.Config, a *matrix.Dense, b []float64, n int, o
 		cfg.ChanCap = 2*m + 2
 	}
 	gr := grid.New(n)
-	mach := machine.New(gr, cfg)
+	mach, err := machine.New(gr, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	w := newDisjointWriter(m)
 
 	st, err := mach.Run(func(p *machine.Proc) {
@@ -141,7 +144,10 @@ func GaussPartialPivot(cfg machine.Config, a *matrix.Dense, b []float64, n int) 
 		cfg.ChanCap = 2*m + 4
 	}
 	gr := grid.New(n)
-	mach := machine.New(gr, cfg)
+	mach, err := machine.New(gr, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	w := newDisjointWriter(m)
 	ownerOf := func(i int) int { return i % n }
 

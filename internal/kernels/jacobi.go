@@ -43,7 +43,10 @@ func JacobiGrid(cfg machine.Config, a *matrix.Dense, b, x0 []float64, iters, n1,
 		return Result{}, err
 	}
 	g := grid.New(n1, n2)
-	mach := machine.New(g, cfg)
+	mach, err := machine.New(g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	rowsPer := m / n1
 	colsPer := m / n2
 	w := newDisjointWriter(m)

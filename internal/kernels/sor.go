@@ -73,7 +73,10 @@ func SORNaive(cfg machine.Config, a *matrix.Dense, b, x0 []float64, omega float6
 		return Result{}, err
 	}
 	g := grid.New(n)
-	mach := machine.New(g, cfg)
+	mach, err := machine.New(g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	w := newDisjointWriter(m)
 
 	st, err := mach.Run(func(p *machine.Proc) {
@@ -112,7 +115,10 @@ func SORPipelined(cfg machine.Config, a *matrix.Dense, b, x0 []float64, omega fl
 		cfg.ChanCap = m
 	}
 	g := grid.New(n)
-	mach := machine.New(g, cfg)
+	mach, err := machine.New(g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	w := newDisjointWriter(m)
 
 	st, err := mach.Run(func(p *machine.Proc) {
@@ -195,7 +201,10 @@ func SORPipelinedChunked(cfg machine.Config, a *matrix.Dense, b, x0 []float64, o
 		cfg.ChanCap = m
 	}
 	g := grid.New(n)
-	mach := machine.New(g, cfg)
+	mach, err := machine.New(g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	w := newDisjointWriter(m)
 
 	st, err := mach.Run(func(p *machine.Proc) {

@@ -44,7 +44,10 @@ func Stencil(cfg machine.Config, x0 []float64, iters, n int) (Result, error) {
 		return Result{}, err
 	}
 	g := grid.New(n)
-	mach := machine.New(g, cfg)
+	mach, err := machine.New(g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	blk := m / n
 	w := newDisjointWriter(m)
 

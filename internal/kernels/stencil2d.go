@@ -54,7 +54,10 @@ func Stencil2D(cfg machine.Config, u0 *matrix.Dense, iters, n1, n2 int) (*matrix
 		return nil, machine.Stats{}, err
 	}
 	g := grid.New(n1, n2)
-	mach := machine.New(g, cfg)
+	mach, err := machine.New(g, cfg)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	rP := m / n1 // rows per processor
 	cP := m / n2
 	out := matrix.NewDense(m, m)

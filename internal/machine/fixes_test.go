@@ -91,7 +91,7 @@ func TestBlockingSendTraceWindow(t *testing.T) {
 // behind the generic "machine: run aborted".
 func TestAbortSurfacesRootCause(t *testing.T) {
 	g := grid.New(3)
-	_, err := New(g, DefaultConfig()).Run(func(p *Proc) {
+	_, err := mustNew(t, g, DefaultConfig()).Run(func(p *Proc) {
 		if p.Rank() == 2 {
 			panic("boom")
 		}
@@ -110,7 +110,7 @@ func TestAbortSurfacesRootCause(t *testing.T) {
 // dead here via the explicit abort below).
 func TestAbortWithoutCauseStaysGeneric(t *testing.T) {
 	g := grid.New(2)
-	m := New(g, DefaultConfig())
+	m := mustNew(t, g, DefaultConfig())
 	m.bar.abort()
 	_, err := m.Run(func(p *Proc) {})
 	if err == nil || !strings.Contains(err.Error(), "machine: run aborted") {

@@ -50,9 +50,12 @@ type Config struct {
 	// sender is busy for the whole transfer, as in a blocking send.
 	Overlap bool
 	// ChanCap is the buffer capacity of each point-to-point channel.
-	// It must be at least 1 so that the ring pipelines of Sections 5-6
-	// (all processors send right before receiving from the left) cannot
-	// deadlock. Defaults to 64.
+	// 0 means "use the default" (64); negative values are a
+	// configuration error reported by Validate/New, not silently
+	// clamped, so a sweep config typo cannot masquerade as the default.
+	// Capacities of at least 1 keep the ring pipelines of Sections 5-6
+	// (all processors send right before receiving from the left) from
+	// deadlocking.
 	ChanCap int
 	// Tracer, when non-nil, receives an Event for every computation,
 	// message, wait and collective with simulated start/end times. It
@@ -169,17 +172,34 @@ type Machine struct {
 	abortOnce sync.Once
 }
 
-// New creates a machine over the given processor grid.
-func New(g *grid.Grid, cfg Config) *Machine {
-	if cfg.ChanCap < 1 {
-		cfg.ChanCap = 64
+// DefaultChanCap is the point-to-point channel capacity used when
+// Config.ChanCap is 0.
+const DefaultChanCap = 64
+
+// Validate reports configuration errors. ChanCap must be non-negative
+// (0 selects DefaultChanCap).
+func (c *Config) Validate() error {
+	if c.ChanCap < 0 {
+		return fmt.Errorf("machine: Config.ChanCap must be >= 0 (0 means default %d), got %d", DefaultChanCap, c.ChanCap)
+	}
+	return nil
+}
+
+// New creates a machine over the given processor grid. It returns an
+// error for invalid configurations (see Config.Validate).
+func New(g *grid.Grid, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ChanCap == 0 {
+		cfg.ChanCap = DefaultChanCap
 	}
 	p := g.Size()
 	m := &Machine{grid: g, cfg: cfg, links: make([]chan message, p*p), bar: newBarrier(p), dead: make(chan struct{})}
 	for i := range m.links {
 		m.links[i] = make(chan message, cfg.ChanCap)
 	}
-	return m
+	return m, nil
 }
 
 // Grid returns the processor grid of the machine.
@@ -199,24 +219,22 @@ type Proc struct {
 	messages    int64
 	words       int64
 	maxMsgWords int64
-	// peerMsgs/peerWords count outbound traffic per destination rank,
-	// allocated on the first counted send so idle processors stay
-	// allocation-free. Finalize traffic and operand ships go through the
+	// pairs counts outbound traffic per destination rank, sparsely keyed
+	// by live pairs. Finalize traffic and operand ships go through the
 	// same Send path, so the per-pair columns are comparable across
 	// engines.
-	peerMsgs  []int64
-	peerWords []int64
+	pairs PairTally
 }
 
-// notePair records one counted outbound message on the (p, dst) pair.
-func (p *Proc) notePair(dst, words int) {
-	if p.peerMsgs == nil {
-		n := p.m.grid.Size()
-		p.peerMsgs = make([]int64, n)
-		p.peerWords = make([]int64, n)
+// noteSend records one counted outbound message of the given size to
+// dst on every counter.
+func (p *Proc) noteSend(dst, words int) {
+	p.messages++
+	p.words += int64(words)
+	if int64(words) > p.maxMsgWords {
+		p.maxMsgWords = int64(words)
 	}
-	p.peerMsgs[dst]++
-	p.peerWords[dst] += int64(words)
+	p.pairs.Note(dst, words)
 }
 
 // Rank returns the linear rank of the processor ("who_am_i" in Fig 6).
@@ -262,20 +280,8 @@ func (p *Proc) Send(dst int, data []Word) {
 	} else {
 		cfg := &p.m.cfg
 		before := p.clock
-		transfer := cfg.Tc * float64(len(data))
-		if cfg.Overlap {
-			p.clock += cfg.Alpha
-			arrival = p.clock + transfer
-		} else {
-			p.clock += cfg.Alpha + transfer
-			arrival = p.clock
-		}
-		p.messages++
-		p.words += int64(len(data))
-		if int64(len(data)) > p.maxMsgWords {
-			p.maxMsgWords = int64(len(data))
-		}
-		p.notePair(dst, len(data))
+		p.clock, arrival = cfg.SendTiming(p.clock, len(data))
+		p.noteSend(dst, len(data))
 		// The event covers the message's true transfer window: Start is
 		// when the sender initiated it, End is the arrival at the receiver.
 		// Under Overlap the sender's own clock only advances by Alpha (it
@@ -323,12 +329,7 @@ func (p *Proc) Recv(src int) []Word {
 func (p *Proc) rawSend(dst int, data []Word, count bool) {
 	buf := append([]Word(nil), data...)
 	if dst != p.rank && count {
-		p.messages++
-		p.words += int64(len(data))
-		if int64(len(data)) > p.maxMsgWords {
-			p.maxMsgWords = int64(len(data))
-		}
-		p.notePair(dst, len(data))
+		p.noteSend(dst, len(data))
 	}
 	select {
 	case p.m.links[p.rank*p.m.grid.Size()+dst] <- message{data: buf}:
@@ -402,57 +403,6 @@ func (p *Proc) Barrier() {
 	}
 }
 
-// Stats aggregates the outcome of a Run.
-type Stats struct {
-	// ParallelTime is the simulated makespan: the maximum clock over all
-	// processors when the SPMD body finishes.
-	ParallelTime float64
-	// Flops is the total flop count over all processors.
-	Flops int64
-	// Messages is the total number of point-to-point messages
-	// (self-sends excluded).
-	Messages int64
-	// Words is the total number of words carried by those messages.
-	Words int64
-	// MaxMsgWords is the size of the largest single message any processor
-	// sent — 1 for a per-element engine, the largest vectored exchange
-	// for a batching one.
-	MaxMsgWords int64
-	// MaxPairMessages / MaxPairWords are the heaviest ordered processor
-	// pair's message and word counts — the hot-link load. Like
-	// MaxMsgWords they count finalize traffic and operand ships
-	// uniformly, so they compare across engines.
-	MaxPairMessages int64
-	MaxPairWords    int64
-	// PerProc holds the final per-processor snapshots indexed by rank.
-	PerProc []ProcStats
-}
-
-// ProcStats is one processor's final counters.
-type ProcStats struct {
-	Clock       float64
-	Flops       int64
-	Messages    int64
-	Words       int64
-	MaxMsgWords int64
-	// PeerMessages/PeerWords break the outbound counters down by
-	// destination rank (nil when this processor sent nothing).
-	PeerMessages []int64
-	PeerWords    []int64
-}
-
-// MaxFlops returns the largest per-processor flop count — the computation
-// load of the most loaded processor, used in load-balance experiments.
-func (s Stats) MaxFlops() int64 {
-	var mx int64
-	for _, ps := range s.PerProc {
-		if ps.Flops > mx {
-			mx = ps.Flops
-		}
-	}
-	return mx
-}
-
 // Run executes the SPMD body on all processors concurrently and returns
 // aggregate statistics. If any processor panics, Run returns the
 // lowest-ranked root-cause error after all goroutines have stopped
@@ -492,24 +442,8 @@ func (m *Machine) Run(body func(p *Proc)) (Stats, error) {
 	st.PerProc = make([]ProcStats, n)
 	for r, p := range procs {
 		st.PerProc[r] = ProcStats{Clock: p.clock, Flops: p.flops, Messages: p.messages, Words: p.words, MaxMsgWords: p.maxMsgWords,
-			PeerMessages: p.peerMsgs, PeerWords: p.peerWords}
-		if p.clock > st.ParallelTime {
-			st.ParallelTime = p.clock
-		}
-		st.Flops += p.flops
-		st.Messages += p.messages
-		st.Words += p.words
-		if p.maxMsgWords > st.MaxMsgWords {
-			st.MaxMsgWords = p.maxMsgWords
-		}
-		for dst := range p.peerMsgs {
-			if p.peerMsgs[dst] > st.MaxPairMessages {
-				st.MaxPairMessages = p.peerMsgs[dst]
-			}
-			if p.peerWords[dst] > st.MaxPairWords {
-				st.MaxPairWords = p.peerWords[dst]
-			}
-		}
+			Peers: p.pairs.Snapshot()}
+		st.AddProc(st.PerProc[r])
 	}
 	for _, err := range errs {
 		if err != nil {

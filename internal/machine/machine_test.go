@@ -9,9 +9,18 @@ import (
 	"dmcc/internal/grid"
 )
 
+func mustNew(t testing.TB, g *grid.Grid, cfg Config) *Machine {
+	t.Helper()
+	m, err := New(g, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
 func run(t *testing.T, g *grid.Grid, cfg Config, body func(p *Proc)) Stats {
 	t.Helper()
-	st, err := New(g, cfg).Run(body)
+	st, err := mustNew(t, g, cfg).Run(body)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -159,7 +168,7 @@ func TestBarrierManyGenerations(t *testing.T) {
 
 func TestPanicIsReportedAsError(t *testing.T) {
 	g := grid.New(2)
-	_, err := New(g, DefaultConfig()).Run(func(p *Proc) {
+	_, err := mustNew(t, g, DefaultConfig()).Run(func(p *Proc) {
 		if p.Rank() == 1 {
 			panic("boom")
 		}
@@ -172,7 +181,7 @@ func TestPanicIsReportedAsError(t *testing.T) {
 
 func TestComputeNegativePanics(t *testing.T) {
 	g := grid.New(1)
-	_, err := New(g, DefaultConfig()).Run(func(p *Proc) { p.Compute(-1) })
+	_, err := mustNew(t, g, DefaultConfig()).Run(func(p *Proc) { p.Compute(-1) })
 	if err == nil {
 		t.Fatal("expected error")
 	}
@@ -180,10 +189,10 @@ func TestComputeNegativePanics(t *testing.T) {
 
 func TestSendRecvRankValidation(t *testing.T) {
 	g := grid.New(2)
-	if _, err := New(g, DefaultConfig()).Run(func(p *Proc) { p.Send(2, nil) }); err == nil {
+	if _, err := mustNew(t, g, DefaultConfig()).Run(func(p *Proc) { p.Send(2, nil) }); err == nil {
 		t.Fatal("Send to bad rank should error")
 	}
-	if _, err := New(g, DefaultConfig()).Run(func(p *Proc) { p.Recv(-1) }); err == nil {
+	if _, err := mustNew(t, g, DefaultConfig()).Run(func(p *Proc) { p.Recv(-1) }); err == nil {
 		t.Fatal("Recv from bad rank should error")
 	}
 }
@@ -436,7 +445,7 @@ func TestAffineTransformIdentity(t *testing.T) {
 
 func TestAffineTransformValidation(t *testing.T) {
 	g := grid.New(3)
-	if _, err := New(g, DefaultConfig()).Run(func(p *Proc) {
+	if _, err := mustNew(t, g, DefaultConfig()).Run(func(p *Proc) {
 		p.AffineTransform([]int{0}, []int{0, 0, 1}, nil)
 	}); err == nil {
 		t.Fatal("non-bijective perm should error")
@@ -505,7 +514,7 @@ func TestAllReduceQuick(t *testing.T) {
 			}
 		}
 		ok := true
-		st, err := New(g, DefaultConfig()).Run(func(p *Proc) {
+		st, err := mustNew(t, g, DefaultConfig()).Run(func(p *Proc) {
 			mine := make([]Word, m)
 			for j := range mine {
 				mine[j] = vals[j] * Word(p.Rank()+1)

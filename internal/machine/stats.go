@@ -1,0 +1,127 @@
+// Run statistics shared by both runtimes. The goroutine Machine, the
+// discrete-event EventMachine, and the exec backend's naive-cost replay
+// all tally per-pair traffic through PairTally and fold per-processor
+// snapshots into Stats through AddProc, so "bit-identical Stats" across
+// engines is a structural property rather than three copies of the same
+// aggregation loop kept in sync by hand.
+package machine
+
+import "sort"
+
+// PairStat is one ordered processor pair's outbound traffic, keyed by
+// the destination rank.
+type PairStat struct {
+	Peer     int
+	Messages int64
+	Words    int64
+}
+
+// PairTally accumulates outbound per-destination counters sparsely: a
+// processor that talks to k peers holds k entries, not one per rank.
+// At N=4096 the dense per-peer slices this replaces cost
+// O(N^2) = 16.7M int64s per run even for nearest-neighbour kernels.
+// The zero value is ready to use.
+type PairTally struct {
+	pairs map[int]*PairStat
+}
+
+// Note records one counted message of the given size to dst.
+func (t *PairTally) Note(dst, words int) {
+	if t.pairs == nil {
+		t.pairs = make(map[int]*PairStat, 8)
+	}
+	ps := t.pairs[dst]
+	if ps == nil {
+		ps = &PairStat{Peer: dst}
+		t.pairs[dst] = ps
+	}
+	ps.Messages++
+	ps.Words += int64(words)
+}
+
+// Snapshot returns the live pairs sorted by destination rank, or nil if
+// nothing was counted. The deterministic order makes ProcStats values
+// directly comparable with reflect.DeepEqual across engines.
+func (t *PairTally) Snapshot() []PairStat {
+	if len(t.pairs) == 0 {
+		return nil
+	}
+	out := make([]PairStat, 0, len(t.pairs))
+	for _, ps := range t.pairs {
+		out = append(out, *ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// Stats aggregates the outcome of a Run.
+type Stats struct {
+	// ParallelTime is the simulated makespan: the maximum clock over all
+	// processors when the SPMD body finishes.
+	ParallelTime float64
+	// Flops is the total flop count over all processors.
+	Flops int64
+	// Messages is the total number of point-to-point messages
+	// (self-sends excluded).
+	Messages int64
+	// Words is the total number of words carried by those messages.
+	Words int64
+	// MaxMsgWords is the size of the largest single message any processor
+	// sent — 1 for a per-element engine, the largest vectored exchange
+	// for a batching one.
+	MaxMsgWords int64
+	// MaxPairMessages / MaxPairWords are the heaviest ordered processor
+	// pair's message and word counts — the hot-link load. Like
+	// MaxMsgWords they count finalize traffic and operand ships
+	// uniformly, so they compare across engines.
+	MaxPairMessages int64
+	MaxPairWords    int64
+	// PerProc holds the final per-processor snapshots indexed by rank.
+	PerProc []ProcStats
+}
+
+// ProcStats is one processor's final counters.
+type ProcStats struct {
+	Clock       float64
+	Flops       int64
+	Messages    int64
+	Words       int64
+	MaxMsgWords int64
+	// Peers breaks the outbound counters down by destination rank,
+	// sorted by rank (nil when this processor sent nothing).
+	Peers []PairStat
+}
+
+// AddProc folds one processor's snapshot into the aggregate totals
+// (everything except PerProc, which the caller owns).
+func (s *Stats) AddProc(ps ProcStats) {
+	if ps.Clock > s.ParallelTime {
+		s.ParallelTime = ps.Clock
+	}
+	s.Flops += ps.Flops
+	s.Messages += ps.Messages
+	s.Words += ps.Words
+	if ps.MaxMsgWords > s.MaxMsgWords {
+		s.MaxMsgWords = ps.MaxMsgWords
+	}
+	for _, pr := range ps.Peers {
+		if pr.Messages > s.MaxPairMessages {
+			s.MaxPairMessages = pr.Messages
+		}
+		if pr.Words > s.MaxPairWords {
+			s.MaxPairWords = pr.Words
+		}
+	}
+}
+
+// MaxFlops returns the largest per-processor flop count — the computation
+// load of the most loaded processor, used in load-balance experiments.
+func (s Stats) MaxFlops() int64 {
+	var mx int64
+	for _, ps := range s.PerProc {
+		if ps.Flops > mx {
+			mx = ps.Flops
+		}
+	}
+	return mx
+}

@@ -37,7 +37,11 @@ func Table1(m, procs int) string {
 	data := make([]machine.Word, m)
 
 	row := func(name, model string, body func(p *machine.Proc)) {
-		st, err := machine.New(g, cfg).Run(body)
+		mach, err := machine.New(g, cfg)
+		var st machine.Stats
+		if err == nil {
+			st, err = mach.Run(body)
+		}
 		if err != nil {
 			fmt.Fprintf(&b, "%-28s %-16s error: %v\n", name, model, err)
 			return

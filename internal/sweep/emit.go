@@ -80,16 +80,25 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	case "exec":
 		fmt.Fprintln(w, "prog,engine,m,n,wall_ns,simtime,messages,words,transport_messages,transport_words,max_msg_words,max_pair_messages,max_pair_words")
 		for _, row := range r.Rows {
-			prog, engine := row.Variant, ""
-			if i := strings.IndexByte(prog, '/'); i >= 0 {
-				prog, engine = prog[:i], prog[i+1:]
-			}
+			prog, engine := splitVariant(row.Variant)
 			fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.0f,%d,%d,%d,%d,%d,%d,%d\n",
 				prog, engine, row.M, row.N,
 				int64(row.Wall["wall_ns"]), row.Metrics["simtime"],
 				int64(row.Metrics["messages"]), int64(row.Metrics["words"]),
 				int64(row.Metrics["transport_messages"]), int64(row.Metrics["transport_words"]),
 				int64(row.Metrics["max_msg_words"]),
+				int64(row.Metrics["max_pair_messages"]), int64(row.Metrics["max_pair_words"]))
+		}
+	case "scale":
+		fmt.Fprintln(w, "prog,engine,m,n,wall_ns,sim_ns,simtime,messages,words,transport_messages,transport_words,max_pair_messages,max_pair_words")
+		for _, row := range r.Rows {
+			prog, engine := splitVariant(row.Variant)
+			fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.0f,%d,%d,%d,%d,%d,%d\n",
+				prog, engine, row.M, row.N,
+				int64(row.Wall["wall_ns"]), int64(row.Wall["sim_ns"]),
+				row.Metrics["simtime"],
+				int64(row.Metrics["messages"]), int64(row.Metrics["words"]),
+				int64(row.Metrics["transport_messages"]), int64(row.Metrics["transport_words"]),
 				int64(row.Metrics["max_pair_messages"]), int64(row.Metrics["max_pair_words"]))
 		}
 	default: // kernel sweeps
@@ -101,4 +110,13 @@ func (r *Result) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// splitVariant splits a "prog/engine" variant; the engine part is empty
+// when there is no slash.
+func splitVariant(v string) (prog, engine string) {
+	if i := strings.IndexByte(v, '/'); i >= 0 {
+		return v[:i], v[i+1:]
+	}
+	return v, ""
 }

@@ -82,6 +82,10 @@ type point struct {
 	key     string // "" = never cached
 	wallCol string // name of the wall-clock column, "" = none
 	compute func() (map[string]float64, error)
+	// moreWall, when non-nil, supplies extra ephemeral wall-clock
+	// columns after compute ran (empty on a warm cache, where compute is
+	// skipped — wall columns are never cached).
+	moreWall func() map[string]float64
 }
 
 // runPoints executes points (concurrently when Options.Workers > 1),
@@ -132,6 +136,14 @@ func runPoint(pt point, opt Options) (Row, error) {
 	row := Row{Variant: pt.variant, M: pt.m, N: pt.n, S: pt.s, Metrics: metrics}
 	if pt.wallCol != "" {
 		row.Wall = map[string]float64{pt.wallCol: float64(time.Since(start).Nanoseconds())}
+	}
+	if pt.moreWall != nil {
+		for k, v := range pt.moreWall() {
+			if row.Wall == nil {
+				row.Wall = map[string]float64{}
+			}
+			row.Wall[k] = v
+		}
 	}
 	return row, nil
 }
@@ -519,6 +531,101 @@ func Exec(mList, nList []int, opt Options) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Kind: "exec", Rows: rows}, nil
+}
+
+// -------------------------------------------------------------- scale --
+
+// ScaleGoroutineCapN is the largest processor count at which the scale
+// sweep still runs the goroutine-runtime arm. Beyond it the P x P
+// channel matrix alone (P^2 buffered channels) makes the live runtime
+// pointless to measure — at N=1024 that is 1M channels before the first
+// message moves — so only the event engine's arm is produced.
+const ScaleGoroutineCapN = 256
+
+// Scale runs the large-N engine-scaling family: the three exec programs
+// on the batched backend, executed by the discrete-event runtime at
+// every N and by the goroutine runtime up to ScaleGoroutineCapN. The
+// two arms' deterministic metrics are identical (the engines are
+// bit-equivalent); the point of the family is the ephemeral wall-clock
+// columns — wall_ns for the whole point and sim_ns for the
+// engine-dependent phase alone — which show the event engine's scaling
+// advantage. The engine name is part of the artifact cache key, so both
+// arms coexist in the store.
+func Scale(mList, nList []int, opt Options) (*Result, error) {
+	cfg := machine.DefaultConfig()
+	var pts []point
+	for _, pr := range execProgs {
+		for _, m := range mList {
+			for _, n := range nList {
+				pr, m, n := pr, m, n
+				for _, engine := range []exec.Engine{exec.EngineEvents, exec.EngineGoroutines} {
+					engine := engine
+					if engine == exec.EngineGoroutines && n > ScaleGoroutineCapN {
+						opt.warnf("scale: skipping %s/goroutines at n=%d (> cap %d)", pr.name, n, ScaleGoroutineCapN)
+						continue
+					}
+					var simNS float64
+					pts = append(pts, point{
+						variant: pr.name + "/" + engine.String(), m: m, n: n,
+						key: artifact.KeyOf("kind=scale", "prog="+core.ProgramHash(pr.mk()),
+							"engine="+engine.String(), fmt.Sprintf("m=%d", m), fmt.Sprintf("n=%d", n),
+							fmt.Sprintf("iters=%d;omega=%g", pr.iters, pr.scalars["OMEGA"]),
+							"machine="+cfg.Fingerprint()),
+						wallCol: "wall_ns",
+						compute: func() (map[string]float64, error) {
+							return scalePoint(pr.mk(), pr.scalars, pr.iters, pr.x0, engine, m, n, cfg, &simNS)
+						},
+						moreWall: func() map[string]float64 {
+							if simNS == 0 {
+								return nil
+							}
+							return map[string]float64{"sim_ns": simNS}
+						},
+					})
+				}
+			}
+		}
+	}
+	rows, err := runPoints(pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "scale", Rows: rows}, nil
+}
+
+func scalePoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, engine exec.Engine, m, n int, cfg machine.Config, simNS *float64) (map[string]float64, error) {
+	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
+	_, ss, err := c.SegmentCost(1, len(p.Nests))
+	if err != nil {
+		return nil, err
+	}
+	a, b, _ := matrix.DiagonallyDominant(m, 1)
+	input := ir.NewStorage(p)
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= m; j++ {
+			input.Store("A", []int{i, j}, a.At(i-1, j-1))
+		}
+		input.Store("B", []int{i}, b[i-1])
+		if x0 {
+			input.Store("X", []int{i}, 0)
+		}
+	}
+	res, err := exec.RunOpts(p, ss, map[string]int{"m": m}, scalars, iters, cfg, input,
+		exec.Options{Engine: engine})
+	if err != nil {
+		return nil, err
+	}
+	*simNS = float64(res.SimWall.Nanoseconds())
+	return map[string]float64{
+		"simtime":            res.Stats.ParallelTime,
+		"messages":           float64(res.Stats.Messages),
+		"words":              float64(res.Stats.Words),
+		"transport_messages": float64(res.Transport.Messages),
+		"transport_words":    float64(res.Transport.Words),
+		"max_msg_words":      float64(res.Transport.MaxMsgWords),
+		"max_pair_messages":  float64(res.Transport.MaxPairMessages),
+		"max_pair_words":     float64(res.Transport.MaxPairWords),
+	}, nil
 }
 
 func execPoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, engine string, m, n int, cfg machine.Config, noPipe bool) (map[string]float64, error) {
