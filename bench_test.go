@@ -644,7 +644,10 @@ func BenchmarkExecBatchedVsExact(b *testing.B) {
 	// "batched" is pinned to the goroutine runtime so its ns/op stays
 	// comparable with the historical arm; "events" is the same schedule
 	// under the discrete-event runtime (deterministic metrics match
-	// bit-for-bit, ns/op shows the engine gap).
+	// bit-for-bit, ns/op shows the engine gap). Both default to the
+	// collective redistribution lowering; "p2p" pins the per-pair
+	// exchange so the word-count gap between the two lowerings stays
+	// visible in the series.
 	b.Run("batched", func(b *testing.B) {
 		var last exec.Result
 		for i := 0; i < b.N; i++ {
@@ -657,6 +660,7 @@ func BenchmarkExecBatchedVsExact(b *testing.B) {
 		}
 		b.ReportMetric(last.Stats.ParallelTime, "simtime")
 		b.ReportMetric(float64(last.Transport.Messages), "transportmsgs")
+		b.ReportMetric(float64(last.Transport.Words), "transportwords")
 		b.ReportMetric(float64(last.Transport.MaxMsgWords), "maxmsgwords")
 	})
 	b.Run("events", func(b *testing.B) {
@@ -671,6 +675,22 @@ func BenchmarkExecBatchedVsExact(b *testing.B) {
 		}
 		b.ReportMetric(last.Stats.ParallelTime, "simtime")
 		b.ReportMetric(float64(last.Transport.Messages), "transportmsgs")
+		b.ReportMetric(float64(last.Transport.Words), "transportwords")
+		b.ReportMetric(float64(last.Transport.MaxMsgWords), "maxmsgwords")
+	})
+	b.Run("p2p", func(b *testing.B) {
+		var last exec.Result
+		for i := 0; i < b.N; i++ {
+			res, err := exec.RunOpts(prog, ss, bind, nil, 1, machine.DefaultConfig(), input,
+				exec.Options{Engine: exec.EngineGoroutines, Redist: exec.RedistP2P})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(last.Stats.ParallelTime, "simtime")
+		b.ReportMetric(float64(last.Transport.Messages), "transportmsgs")
+		b.ReportMetric(float64(last.Transport.Words), "transportwords")
 		b.ReportMetric(float64(last.Transport.MaxMsgWords), "maxmsgwords")
 	})
 	b.Run("exact", func(b *testing.B) {

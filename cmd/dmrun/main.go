@@ -19,6 +19,9 @@
 //	                        needs the live goroutine interleaving),
 //	       -pipeline=false (exec: per-element finalizes instead of the
 //	                        vectored two-phase / ring reduction exchange),
+//	       -redist=p2p|collective|auto (exec: scheme-change lowering; auto
+//	                        picks the composed collective schedules, p2p
+//	                        reverts to per-pair exchanges),
 //	       -cpuprofile / -memprofile (write pprof profiles)
 package main
 
@@ -55,6 +58,7 @@ func main() {
 	doTrace := flag.Bool("trace", false, "print per-processor time breakdown and Gantt chart")
 	seed := flag.Int64("seed", 1, "system generator seed")
 	pipeline := flag.Bool("pipeline", true, "exec backend: vectored two-phase / ring reduction exchange (false = per-element finalizes)")
+	redistName := flag.String("redist", "auto", "exec backend scheme-change lowering: auto, collective, p2p")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -83,9 +87,13 @@ func main() {
 
 	if *execBackend {
 		var engine exec.Engine
+		var redist exec.Redist
 		engine, err = parseEngine(*engineName)
 		if err == nil {
-			err = runExec(*kernel, cfg, *m, *n, *iters, *seed, !*pipeline, engine)
+			redist, err = parseRedist(*redistName)
+		}
+		if err == nil {
+			err = runExec(*kernel, cfg, *m, *n, *iters, *seed, !*pipeline, engine, redist)
 		}
 	} else {
 		err = run(*kernel, cfg, *m, *n, *n2, *iters, *naive, *broadcast, *seed)
@@ -192,7 +200,20 @@ func parseEngine(name string) (exec.Engine, error) {
 	return exec.EngineAuto, fmt.Errorf("unknown -engine %q (want auto, events or goroutines)", name)
 }
 
-func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64, noPipe bool, engine exec.Engine) error {
+// parseRedist maps the -redist flag value onto an exec.Redist.
+func parseRedist(name string) (exec.Redist, error) {
+	switch name {
+	case "auto":
+		return exec.RedistAuto, nil
+	case "collective":
+		return exec.RedistCollective, nil
+	case "p2p":
+		return exec.RedistP2P, nil
+	}
+	return exec.RedistAuto, fmt.Errorf("unknown -redist %q (want auto, collective or p2p)", name)
+}
+
+func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64, noPipe bool, engine exec.Engine, redist exec.Redist) error {
 	a, b, _ := matrix.DiagonallyDominant(m, seed)
 	var p *ir.Program
 	var scalars map[string]float64
@@ -230,7 +251,7 @@ func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64, noP
 		}
 	}
 	res, err := exec.RunOpts(p, ss, map[string]int{"m": m}, scalars, iters, cfg, input,
-		exec.Options{NoPipeline: noPipe, Engine: engine})
+		exec.Options{NoPipeline: noPipe, Engine: engine, Redist: redist})
 	if err != nil {
 		return err
 	}
@@ -238,8 +259,8 @@ func runExec(kernel string, cfg machine.Config, m, n, iters int, seed int64, noP
 	for i := 1; i <= m; i++ {
 		x[i-1] = res.Values.Load(ir.R("X", ir.Const(i)), []int{i})
 	}
-	report(fmt.Sprintf("%s (exec backend) on %d processors, %d iters", kernel, n, iters),
-		res.Stats, matrix.MaxAbsDiff(x, ref))
+	report(fmt.Sprintf("%s (exec backend, %s redistribution) on %d processors, %d iters",
+		kernel, redist, n, iters), res.Stats, matrix.MaxAbsDiff(x, ref))
 	fmt.Printf("  transport (batched): %d messages, %d words, largest message %d words\n",
 		res.Transport.Messages, res.Transport.Words, res.Transport.MaxMsgWords)
 	fmt.Printf("  busiest pair: %d messages, %d words\n",

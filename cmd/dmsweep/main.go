@@ -26,7 +26,10 @@
 //	                                            per-element RunExact oracle;
 //	                                            -pipeline=false reverts the
 //	                                            batched arm to per-element
-//	                                            finalizes)
+//	                                            finalizes; -redist=p2p
+//	                                            reverts scheme changes to
+//	                                            per-pair exchanges instead
+//	                                            of composed collectives)
 //	dmsweep -sweep scale -m 64 -n 256,1024,4096 (large-N engine scaling:
 //	                                            the batched backend under
 //	                                            the discrete-event runtime
@@ -66,6 +69,7 @@ import (
 	"strings"
 
 	"dmcc/internal/artifact"
+	"dmcc/internal/exec"
 	"dmcc/internal/sweep"
 )
 
@@ -83,6 +87,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON file to diff against; regressions exit nonzero")
 	baselineTol := flag.Float64("baseline-tol", 0, "relative tolerance for -baseline (0.05 = 5%)")
 	pipeline := flag.Bool("pipeline", true, "exec sweep: vectored two-phase / ring reduction exchange (false = per-element finalizes)")
+	redistName := flag.String("redist", "auto", "exec/scale sweeps: scheme-change lowering (auto, collective, p2p)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -106,10 +111,16 @@ func main() {
 		fail(err)
 	}
 
+	redist, err := parseRedist(*redistName)
+	if err != nil {
+		fail(err)
+	}
+
 	opt := sweep.Options{
 		Jobs:       *jobs,
 		Workers:    *workers,
 		NoPipeline: !*pipeline,
+		Redist:     redist,
 		Warnf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "dmsweep: "+format+"\n", args...)
 		},
@@ -184,6 +195,19 @@ func main() {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "dmsweep: %v\n", err)
 	os.Exit(1)
+}
+
+// parseRedist maps the -redist flag value onto an exec.Redist.
+func parseRedist(name string) (exec.Redist, error) {
+	switch name {
+	case "auto":
+		return exec.RedistAuto, nil
+	case "collective":
+		return exec.RedistCollective, nil
+	case "p2p":
+		return exec.RedistP2P, nil
+	}
+	return exec.RedistAuto, fmt.Errorf("unknown -redist %q (want auto, collective or p2p)", name)
 }
 
 // startProfiles starts CPU profiling (when cpu != "") and returns the

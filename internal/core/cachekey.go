@@ -57,7 +57,7 @@ func (c *Compiler) CacheKey() string {
 		}
 		fmt.Fprintf(&b, "%s=%d", k, c.Weights.Bind[k])
 	}
-	fmt.Fprintf(&b, ";greedy=%t;exactnest=%t;exactchange=%t;nocache=%t;pipered=%t",
-		c.UseGreedyAlign, c.ExactNestCount, c.ExactChangeCost, c.NoCache, c.PipelinedReductions)
+	fmt.Fprintf(&b, ";greedy=%t;exactnest=%t;exactchange=%t;nocache=%t;pipered=%t;collredist=%t",
+		c.UseGreedyAlign, c.ExactNestCount, c.ExactChangeCost, c.NoCache, c.PipelinedReductions, c.CollectiveRedist)
 	return b.String()
 }

@@ -69,6 +69,15 @@ type Compiler struct {
 	// receives more than O(1) reduction messages per element, which
 	// lets the DP keep layouts the tree pricing rejected.
 	PipelinedReductions bool
+	// CollectiveRedist prices inter-segment scheme changes as the
+	// composed collective lowering (dist.ClassifyChange: an AllToAll
+	// personalized exchange plus per-group multicast trees) instead of
+	// the point-to-point bottleneck load. Replication widenings then
+	// cost O(m log W) rather than the O(m (W-1)) star, which can let
+	// Algorithm 1 buy a cheap redistribution into a better layout that
+	// the p2p pricing rejects — the ChangeCost analogue of what
+	// PipelinedReductions does for SegmentCost.
+	CollectiveRedist bool
 
 	mu       sync.Mutex
 	poolOnce sync.Once
@@ -295,6 +304,7 @@ func (c *Compiler) changeCost(from, to *SchemeSet) (float64, error) {
 	}
 	sort.Strings(names)
 	loads := dist.NewLoads()
+	var plans []dist.RedistPlan
 	for _, name := range names {
 		sFrom, ok1 := from.Schemes[name]
 		sTo, ok2 := to.Schemes[name]
@@ -305,6 +315,14 @@ func (c *Compiler) changeCost(from, to *SchemeSet) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
+		if c.CollectiveRedist && !c.ExactChangeCost {
+			pl, err := dist.ClassifyChange(from.Grid, to.Grid, shape, sFrom, sTo)
+			if err != nil {
+				return 0, err
+			}
+			plans = append(plans, pl)
+			continue
+		}
 		if c.ExactChangeCost {
 			loads.Add(dist.RedistLoadsExact(from.Grid, to.Grid, shape, sFrom, sTo))
 			continue
@@ -314,6 +332,9 @@ func (c *Compiler) changeCost(from, to *SchemeSet) (float64, error) {
 			return 0, err
 		}
 		loads.Add(l)
+	}
+	if plans != nil {
+		return c.Model.CollectiveChangeTime(plans), nil
 	}
 	return loads.MaxLoad() * c.Model.Tc, nil
 }

@@ -1,0 +1,26 @@
+// Pricing for collective redistribution lowerings (dist.ClassifyChange):
+// the Table 1 counterpart of the exec backend's composed
+// AllToAll + multicast-tree schedule kind.
+package cost
+
+import "dmcc/internal/dist"
+
+// CollectiveChangeTime prices a multi-array scheme change lowered to
+// composed collectives. The arrays' stage-1 personalized exchanges merge
+// into one AllToAll whose time is the joint bottleneck per-processor
+// load — exactly what the point-to-point transport pays — while each
+// array's stage-2 multicast trees serialize behind it at the Table 1
+// tree cost, O(m log W) instead of the O(m (W-1)) replication star.
+// With no widening plans this equals the point-to-point change time, so
+// the collective pricing is never an over-estimate of the p2p one.
+func (c Model) CollectiveChangeTime(plans []dist.RedistPlan) float64 {
+	ex := dist.NewLoads()
+	var trees float64
+	for _, pl := range plans {
+		ex.Add(pl.Exchange)
+		if pl.WidenGroup > 1 && pl.MulticastWords > 0 {
+			trees += c.Tc * pl.MulticastWords * float64(Log2Ceil(pl.WidenGroup))
+		}
+	}
+	return c.Tc*ex.MaxLoad() + trees
+}

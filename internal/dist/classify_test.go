@@ -1,0 +1,190 @@
+// Classification and composed-plan properties: the per-dimension kinds
+// match the syntactic change, a pure remap prices exactly like the
+// point-to-point loads, widening prices at tree depth instead of star
+// width, and narrowing is free.
+
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmcc/internal/grid"
+)
+
+func part(gd, block int, cyclic bool) Dim {
+	return Dim{Sign: 1, Disp: -1, Block: block, Cyclic: cyclic, GridDim: gd}
+}
+
+// TestClassifyPureRemap: block -> cyclic on the same grid is a single
+// AllToAll step whose loads equal RedistLoads exactly.
+func TestClassifyPureRemap(t *testing.T) {
+	g := grid.New(4)
+	shape := []int{32}
+	from := Scheme{Dims: []Dim{part(0, 8, false)}}
+	to := Scheme{Dims: []Dim{part(0, 1, true)}}
+	pl, err := ClassifyChange(g, g, shape, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PerDim[0] != ChangeRemap {
+		t.Fatalf("per-dim kind = %v, want remap", pl.PerDim[0])
+	}
+	if pl.WidenGroup != 1 || len(pl.WidenDims) != 0 {
+		t.Fatalf("remap plan has widen group %d dims %v", pl.WidenGroup, pl.WidenDims)
+	}
+	if len(pl.Steps) != 1 || pl.Steps[0].Kind != StepAllToAll {
+		t.Fatalf("remap plan steps = %+v, want one all-to-all", pl.Steps)
+	}
+	ref, err := RedistLoads(g, g, shape, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireLoadsEqual(t, pl.Exchange, ref)
+	if got, want := pl.Time(1), ref.MaxLoad(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("remap Time = %v, want p2p MaxLoad %v", got, want)
+	}
+}
+
+// TestClassifyWidening: pinning a grid dimension to All lowers to a
+// multicast tree — stage 1 is free (a source owner sits in every
+// group), and the priced time is payload*log2(W), strictly below the
+// point-to-point star payload*(W-1).
+func TestClassifyWidening(t *testing.T) {
+	g := grid.New(4, 4)
+	shape := []int{16}
+	from := Scheme{Dims: []Dim{part(0, 1, true)}, Fixed: map[int]int{1: 2}}
+	to := Scheme{Dims: []Dim{part(0, 1, true)}, Fixed: map[int]int{1: All}}
+	pl, err := ClassifyChange(g, g, shape, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PerDim[0] != ChangeNone || pl.PerDim[1] != ChangeWiden {
+		t.Fatalf("per-dim kinds = %v, want [none widen]", pl.PerDim)
+	}
+	if pl.WidenGroup != 4 {
+		t.Fatalf("widen group = %d, want 4", pl.WidenGroup)
+	}
+	if pl.Exchange.Words != 0 {
+		t.Fatalf("widening paid %v stage-1 words; the source owner roots every group", pl.Exchange.Words)
+	}
+	if len(pl.Steps) != 1 || pl.Steps[0].Kind != StepMulticast {
+		t.Fatalf("widening plan steps = %+v, want one multicast", pl.Steps)
+	}
+	// Each of the 4 owners on column 2 holds 4 elements: tree payload 4,
+	// depth log2(4) = 2 -> time 8. The p2p star pays 4*(4-1) = 12.
+	if got := pl.Time(1); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("widening Time = %v, want 8", got)
+	}
+	ref, err := RedistLoads(g, g, shape, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2p := ref.MaxLoad(); pl.Time(1) >= p2p {
+		t.Fatalf("widening collective time %v not below p2p %v", pl.Time(1), p2p)
+	}
+}
+
+// TestClassifyNarrowing: All -> concrete moves nothing.
+func TestClassifyNarrowing(t *testing.T) {
+	g := grid.New(4, 4)
+	shape := []int{16}
+	from := Scheme{Dims: []Dim{part(0, 1, true)}, Fixed: map[int]int{1: All}}
+	to := Scheme{Dims: []Dim{part(0, 1, true)}, Fixed: map[int]int{1: 1}}
+	pl, err := ClassifyChange(g, g, shape, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PerDim[1] != ChangeNarrow {
+		t.Fatalf("per-dim kind = %v, want narrow", pl.PerDim[1])
+	}
+	if len(pl.Steps) != 0 || pl.Time(1) != 0 {
+		t.Fatalf("narrowing plan not free: steps %+v time %v", pl.Steps, pl.Time(1))
+	}
+}
+
+// TestClassifyIdentity: the same scheme twice has no steps and all-None
+// kinds.
+func TestClassifyIdentity(t *testing.T) {
+	g := grid.New(2, 8)
+	shape := []int{12, 12}
+	s := Scheme{Dims: []Dim{part(0, 6, false), part(1, 1, true)}}
+	pl, err := ClassifyChange(g, g, shape, s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gd, k := range pl.PerDim {
+		if k != ChangeNone {
+			t.Fatalf("dim %d kind = %v, want none", gd, k)
+		}
+	}
+	if len(pl.Steps) != 0 || pl.Time(1) != 0 {
+		t.Fatalf("identity plan not empty: %+v", pl)
+	}
+}
+
+// TestClassifyMatchesRedistLoadsFuzz: whenever nothing widens, the
+// composed plan's exchange loads must equal RedistLoads exactly, and
+// with widening the priced time must never exceed the point-to-point
+// bottleneck (the lowering is an optimization, not a penalty).
+func TestClassifyMatchesRedistLoadsFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := grid.New(3, 4)
+	shape := []int{18}
+	randScheme := func() Scheme {
+		gd := rng.Intn(2)
+		other := 1 - gd
+		fixed := rng.Intn(g.Extent(other) + 1)
+		if fixed == g.Extent(other) {
+			fixed = All
+		}
+		d := Dim{Sign: 1, Disp: -1, Block: 1 + rng.Intn(3), Cyclic: rng.Intn(2) == 0, GridDim: gd}
+		if !d.Cyclic {
+			// Keep contiguous blocks large enough to cover the extent.
+			for (shape[0]-1)/d.Block >= g.Extent(gd) {
+				d.Block++
+			}
+		}
+		return Scheme{Dims: []Dim{d}, Fixed: map[int]int{other: fixed}}
+	}
+	for trial := 0; trial < 200; trial++ {
+		from, to := randScheme(), randScheme()
+		pl, err := ClassifyChange(g, g, shape, from, to)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref, err := RedistLoads(g, g, shape, from, to)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if pl.WidenGroup == 1 {
+			requireLoadsEqual(t, pl.Exchange, ref)
+		}
+		if pl.Time(1) > ref.MaxLoad()+1e-9 {
+			t.Fatalf("trial %d: collective time %v exceeds p2p bottleneck %v (from %v to %v)",
+				trial, pl.Time(1), ref.MaxLoad(), from, to)
+		}
+	}
+}
+
+func requireLoadsEqual(t *testing.T, got, want Loads) {
+	t.Helper()
+	if math.Abs(got.Words-want.Words) > 1e-9 {
+		t.Fatalf("exchange words %v, want %v", got.Words, want.Words)
+	}
+	for r, w := range want.In {
+		if math.Abs(got.In[r]-w) > 1e-9 {
+			t.Fatalf("In[%d] = %v, want %v", r, got.In[r], w)
+		}
+	}
+	for r, w := range want.Out {
+		if math.Abs(got.Out[r]-w) > 1e-9 {
+			t.Fatalf("Out[%d] = %v, want %v", r, got.Out[r], w)
+		}
+	}
+	if len(got.In) > len(want.In) || len(got.Out) > len(want.Out) {
+		t.Fatalf("extra load entries: got %d/%d in/out, want %d/%d",
+			len(got.In), len(got.Out), len(want.In), len(want.Out))
+	}
+}

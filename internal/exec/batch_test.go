@@ -261,6 +261,13 @@ func TestBatchedMatchesExactFuzz(t *testing.T) {
 				t.Fatalf("trial %d n=%d: no-pipeline: %v", trial, n, err)
 			}
 			requireIdentical(t, fmt.Sprintf("trial %d n=%d (no pipeline)", trial, n), noPipe, want)
+			// And the point-to-point redistribution (the default Run above
+			// already exercises the collective lowering).
+			p2p, err := RunOpts(p, ss, bind, nil, iters, tight, input, Options{Redist: RedistP2P})
+			if err != nil {
+				t.Fatalf("trial %d n=%d: p2p: %v", trial, n, err)
+			}
+			requireIdentical(t, fmt.Sprintf("trial %d n=%d (p2p)", trial, n), p2p, want)
 		}
 	}
 }

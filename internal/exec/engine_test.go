@@ -1,8 +1,9 @@
 // Cross-engine parity: the discrete-event runtime must reproduce the
 // goroutine runtime bit for bit — values, naive Stats, and the batched
 // transport's own Stats — on every kernel shape and on the fuzz corpus,
-// in both pipeline modes. This is the property that lets exec.Run
-// default to the event engine while the goroutine runtime remains the
+// in both pipeline modes and both redistribution lowerings (collective
+// and point-to-point). This is the property that lets exec.Run default
+// to the event engine while the goroutine runtime remains the
 // semantics oracle.
 
 package exec
@@ -149,18 +150,20 @@ func TestEngineParityKernels(t *testing.T) {
 			}
 			bind := map[string]int{"m": c.m}
 			for _, noPipe := range []bool{false, true} {
-				label := fmt.Sprintf("%s m=%d n=%d noPipe=%v", c.name, c.m, n, noPipe)
-				ev, err := RunOpts(c.p, ss, bind, c.scalars, c.iters, machine.DefaultConfig(), input,
-					Options{Engine: EngineEvents, NoPipeline: noPipe})
-				if err != nil {
-					t.Fatalf("%s: events engine: %v", label, err)
+				for _, redist := range []Redist{RedistCollective, RedistP2P} {
+					label := fmt.Sprintf("%s m=%d n=%d noPipe=%v redist=%v", c.name, c.m, n, noPipe, redist)
+					ev, err := RunOpts(c.p, ss, bind, c.scalars, c.iters, machine.DefaultConfig(), input,
+						Options{Engine: EngineEvents, NoPipeline: noPipe, Redist: redist})
+					if err != nil {
+						t.Fatalf("%s: events engine: %v", label, err)
+					}
+					gr, err := RunOpts(c.p, ss, bind, c.scalars, c.iters, machine.DefaultConfig(), input,
+						Options{Engine: EngineGoroutines, NoPipeline: noPipe, Redist: redist})
+					if err != nil {
+						t.Fatalf("%s: goroutine engine: %v", label, err)
+					}
+					requireEngineEqual(t, label, ev, gr)
 				}
-				gr, err := RunOpts(c.p, ss, bind, c.scalars, c.iters, machine.DefaultConfig(), input,
-					Options{Engine: EngineGoroutines, NoPipeline: noPipe})
-				if err != nil {
-					t.Fatalf("%s: goroutine engine: %v", label, err)
-				}
-				requireEngineEqual(t, label, ev, gr)
 			}
 		}
 	}
@@ -204,16 +207,20 @@ func TestEngineParityFuzz(t *testing.T) {
 			}
 			bind := map[string]int{"m": m}
 			for _, noPipe := range []bool{false, true} {
-				label := fmt.Sprintf("trial %d n=%d noPipe=%v", trial, n, noPipe)
-				ev, err := RunOpts(p, ss, bind, nil, iters, tight, input, Options{Engine: EngineEvents, NoPipeline: noPipe})
-				if err != nil {
-					t.Fatalf("%s: events engine: %v", label, err)
+				for _, redist := range []Redist{RedistCollective, RedistP2P} {
+					label := fmt.Sprintf("trial %d n=%d noPipe=%v redist=%v", trial, n, noPipe, redist)
+					ev, err := RunOpts(p, ss, bind, nil, iters, tight, input,
+						Options{Engine: EngineEvents, NoPipeline: noPipe, Redist: redist})
+					if err != nil {
+						t.Fatalf("%s: events engine: %v", label, err)
+					}
+					gr, err := RunOpts(p, ss, bind, nil, iters, tight, input,
+						Options{Engine: EngineGoroutines, NoPipeline: noPipe, Redist: redist})
+					if err != nil {
+						t.Fatalf("%s: goroutine engine: %v", label, err)
+					}
+					requireEngineEqual(t, label, ev, gr)
 				}
-				gr, err := RunOpts(p, ss, bind, nil, iters, tight, input, Options{Engine: EngineGoroutines, NoPipeline: noPipe})
-				if err != nil {
-					t.Fatalf("%s: goroutine engine: %v", label, err)
-				}
-				requireEngineEqual(t, label, ev, gr)
 			}
 		}
 	}

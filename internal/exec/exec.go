@@ -87,6 +87,38 @@ func (e Engine) String() string {
 	return "auto"
 }
 
+// Redist selects the transport lowering for batched operand ships —
+// the third schedule kind next to the vectored pair exchange and the
+// two-phase / ring reduction exchange.
+type Redist int
+
+const (
+	// RedistAuto (the zero value) resolves to RedistCollective.
+	RedistAuto Redist = iota
+	// RedistCollective lowers each epoch's operand traffic to a composed
+	// collective plan: per-pair duplicate ships collapse to one copy
+	// (value-safe — within an epoch no batched-shipped element is
+	// written), elements bound for the same destination set travel a
+	// binomial multicast tree instead of a star, and the remaining
+	// single-destination traffic stays a vectored pair exchange. Values
+	// and the naive Stats are identical to RedistP2P; only
+	// Result.Transport changes (fewer words and messages).
+	RedistCollective
+	// RedistP2P keeps the original per-pair vectored exchange: every
+	// ship travels point-to-point, duplicates included.
+	RedistP2P
+)
+
+func (r Redist) String() string {
+	switch r {
+	case RedistCollective:
+		return "collective"
+	case RedistP2P:
+		return "p2p"
+	}
+	return "auto"
+}
+
 // Options tune the batched engine's transport. The zero value is the
 // default configuration: pipelined finalizes on, no transport tracer,
 // automatic engine choice.
@@ -105,6 +137,9 @@ type Options struct {
 	// Engine picks the transport runtime; EngineAuto (the zero value)
 	// selects events unless TransportTracer is set.
 	Engine Engine
+	// Redist picks the operand-ship lowering; RedistAuto (the zero
+	// value) selects the collective redistribution schedule.
+	Redist Redist
 }
 
 // validate performs the shared pre-flight checks of both engines.
@@ -153,7 +188,7 @@ func RunOpts(p *ir.Program, ss *core.SchemeSet, bind map[string]int, scalars map
 		iters = 1
 	}
 
-	sched := buildSchedule(p, ss, bind, !opt.NoPipeline)
+	sched := buildSchedule(p, ss, bind, !opt.NoPipeline, opt.Redist != RedistP2P)
 	nprocs := sched.nprocs
 
 	// Value pass: the batched transport computes every array element.

@@ -41,6 +41,12 @@ type valExec struct {
 	// bufs holds the current epoch's vectored buffer per live source,
 	// with a consumption cursor.
 	bufs map[int]*vbuf
+	// cbuf holds collectively-redistributed operand values keyed by the
+	// origin (first-owner) rank and element: filled by opRedist rounds,
+	// forwarded by tree relays, and read by eval's non-direct slots in
+	// collective mode. Entries are overwritten in place — every epoch
+	// re-ships what its slots read, so a stale value is never visible.
+	cbuf map[int32]map[elemID]machine.Word
 	// env is the reusable loop binding for RHS evaluation.
 	env    map[string]int
 	loadFn func(ir.Ref, []int) float64
@@ -75,6 +81,7 @@ func newValExec(s *progSchedule, proc machine.Port, scalars map[string]float64) 
 		has:      make([][]bool, len(s.arrays)),
 		partials: make(map[elemID]float64),
 		bufs:     make(map[int]*vbuf),
+		cbuf:     make(map[int32]map[elemID]machine.Word),
 		env:      bindEnv(s.bind),
 		curVals:  make([]float64, 0, 8),
 		rsend:    make(map[int][]machine.Word),
@@ -259,6 +266,8 @@ func (x *valExec) runNest(ns *nestSchedule) {
 				}
 				b.data, b.pos = data, 0
 			}
+		case opRedist:
+			x.runRedist(in.redist)
 		case opSendDirect:
 			x.proc.SendValue(int(in.dst), x.loadElem(in.elem))
 		case opFin:
@@ -271,6 +280,62 @@ func (x *valExec) runNest(ns *nestSchedule) {
 	}
 }
 
+// runRedist executes one epoch's collective redistribution. Each round
+// sends its merged messages in ascending destination order, then
+// receives in ascending source order — one message per ordered pair
+// per round, the same shape that keeps the point-to-point flush
+// deadlock-free at ChanCap=1. A segment whose origin is this processor
+// gathers from the local store; a relayed segment forwards the words
+// buffered (under the origin's rank) in an earlier round.
+func (x *valExec) runRedist(op *redistOp) {
+	for r := range op.rounds {
+		rd := &op.rounds[r]
+		for i := range rd.sends {
+			msg := &rd.sends[i]
+			x.gather = x.gather[:0]
+			for _, seg := range msg.segs {
+				if int(seg.origin) == x.me {
+					for _, e := range seg.elems {
+						x.gather = append(x.gather, x.loadElem(e))
+					}
+				} else {
+					cb := x.cbuf[seg.origin]
+					for _, e := range seg.elems {
+						w, ok := cb[e]
+						if !ok {
+							panic(fmt.Sprintf("exec: collective relay at %d missing element %d of origin %d", x.me, e, seg.origin))
+						}
+						x.gather = append(x.gather, w)
+					}
+				}
+			}
+			x.proc.Send(int(msg.peer), x.gather)
+		}
+		for i := range rd.recvs {
+			msg := &rd.recvs[i]
+			data := x.proc.Recv(int(msg.peer))
+			pos := 0
+			for _, seg := range msg.segs {
+				cb := x.cbuf[seg.origin]
+				if cb == nil {
+					cb = make(map[elemID]machine.Word)
+					x.cbuf[seg.origin] = cb
+				}
+				for _, e := range seg.elems {
+					if pos >= len(data) {
+						panic(fmt.Sprintf("exec: collective round from %d short by %d words", msg.peer, pos-len(data)+1))
+					}
+					cb[e] = data[pos]
+					pos++
+				}
+			}
+			if pos != len(data) {
+				panic(fmt.Sprintf("exec: collective round from %d expected %d words, got %d", msg.peer, pos, len(data)))
+			}
+		}
+	}
+}
+
 // eval receives the instance's remote operands (buffer pops and direct
 // one-word messages, in the shared global order) and, unless this
 // processor is a receive-only replica of a reduction, evaluates the
@@ -279,9 +344,16 @@ func (x *valExec) eval(ns *nestSchedule, in *pinstr) {
 	x.curVals = x.curVals[:0]
 	for _, sl := range in.slots {
 		var v float64
-		if sl.direct {
+		switch {
+		case sl.direct:
 			v = x.proc.RecvValue(int(sl.src))
-		} else {
+		case x.s.collective:
+			w, ok := x.cbuf[sl.src][sl.elem]
+			if !ok {
+				panic(fmt.Sprintf("exec: collective buffer at %d missing element %d of origin %d", x.me, sl.elem, sl.src))
+			}
+			v = w
+		default:
 			b := x.buf(int(sl.src))
 			if b.pos >= len(b.data) {
 				panic(fmt.Sprintf("exec: vectored buffer from %d underflow", sl.src))

@@ -77,6 +77,12 @@ type progSchedule struct {
 	// transport), which is what the -pipeline=false knob compares
 	// against.
 	pipeline bool
+	// collective enables the composed collective lowering of operand
+	// ships (RedistCollective): per-pair duplicates dedup at insertion,
+	// shared-destination-set traffic travels binomial multicast trees,
+	// and eval slots resolve against origin-keyed buffers instead of
+	// positional pair cursors.
+	collective bool
 	// Liveness state for fan-out pruning (pipeline mode): redArrs marks
 	// arrays that appear as a reduction LHS; acc records, per element of
 	// those arrays, the program-order sequence of local-read and write
@@ -189,11 +195,12 @@ type pinstr struct {
 	stmt  int32
 	dst   int32 // opSendDirect: receiver rank
 	elem  elemID
-	env   []int32
-	slots []slot
-	flush *flushOp
-	fin   *finOp
-	red   *redOp
+	env    []int32
+	slots  []slot
+	flush  *flushOp
+	fin    *finOp
+	red    *redOp
+	redist *redistOp
 }
 
 const (
@@ -211,6 +218,9 @@ const (
 	// opRed runs a vectored reduction exchange (two-phase or ring) for a
 	// batch of finalizes; pipeline mode's replacement for opFin.
 	opRed
+	// opRedist runs one epoch's collective redistribution rounds;
+	// collective mode's replacement for opFlush.
+	opRedist
 )
 
 const (
@@ -240,6 +250,43 @@ type flushSend struct {
 type flushRecv struct {
 	src int32
 	n   int
+}
+
+// redistOp is one processor's materialized schedule for an epoch's
+// collective redistribution. Each round exchanges at most one merged
+// vectored message per ordered processor pair, and every processor
+// sends its round messages before receiving any — the same shape that
+// makes the point-to-point flush deadlock-free at ChanCap=1. Binomial
+// multicast-tree rounds come first (round r moves tree edges of stride
+// 2^r, so a relay always receives a step's payload in an earlier round
+// than it forwards it), and the residual single-destination traffic is
+// the final round, one vectored message per pair like the flush.
+type redistOp struct {
+	rounds []redistRound
+}
+
+type redistRound struct {
+	sends []redistMsg // ascending peer (destination) order
+	recvs []redistMsg // ascending peer (source) order
+}
+
+// redistMsg is one merged round message: the segments of every tree
+// step (and residual pair list) crossing this ordered pair this round,
+// concatenated in step order. Both endpoints hold the same segment
+// list, so the wire layout needs no header.
+type redistMsg struct {
+	peer int32
+	segs []redistSeg
+}
+
+// redistSeg is one origin's element run inside a merged message. The
+// sender gathers it from its local store when it is the origin, or
+// forwards the words it received (and buffered by origin) in an
+// earlier round; the receiver files the words under the origin's rank
+// for eval's slot lookups.
+type redistSeg struct {
+	origin int32
+	elems  []elemID
 }
 
 type finOp struct {
@@ -303,16 +350,19 @@ func ringEligible(items []*finOp) bool {
 
 // buildSchedule runs the inspector over the whole program. pipeline
 // selects the vectored two-phase / ring finalize lowering; off, every
-// finalize stays a per-element star.
-func buildSchedule(p *ir.Program, ss *core.SchemeSet, bind map[string]int, pipeline bool) *progSchedule {
+// finalize stays a per-element star. collective selects the composed
+// collective lowering of the epoch operand exchanges; off, each epoch
+// is one point-to-point vectored message per pair, duplicates and all.
+func buildSchedule(p *ir.Program, ss *core.SchemeSet, bind map[string]int, pipeline, collective bool) *progSchedule {
 	s := &progSchedule{
 		p: p, ss: ss, bind: bind,
-		nprocs:   ss.Grid.Size(),
-		aid:      make(map[string]int, len(p.Arrays)),
-		ocache:   make(map[elemID][]int),
-		pipeline: pipeline,
-		redArrs:  make(map[int]bool),
-		acc:      make(map[elemID][]accEvent),
+		nprocs:     ss.Grid.Size(),
+		aid:        make(map[string]int, len(p.Arrays)),
+		ocache:     make(map[elemID][]int),
+		pipeline:   pipeline,
+		collective: collective,
+		redArrs:    make(map[int]bool),
+		acc:        make(map[elemID][]accEvent),
 	}
 	names := make([]string, 0, len(p.Arrays))
 	for name := range p.Arrays {
@@ -419,6 +469,18 @@ type nestBuilder struct {
 	// pairs the epoch's per-pair vectored element lists.
 	cur   [][]pinstr
 	pairs map[int64][]elemID
+	// seen dedups batched ships in collective mode: seen[e][pair] marks
+	// that the pair's destination holds a live buffered copy of e, so a
+	// repeat ship would carry the same value and one copy suffices. A
+	// write of e invalidates its entry (the buffered copies go stale),
+	// which makes the dedup window every ship since the element's last
+	// write — spanning epoch cuts, not reset by them: the surviving
+	// ship's value is gathered at its own epoch boundary, before any
+	// write that could invalidate it. The timeline still records every
+	// ship — the naive model prices them all — and eval slots still
+	// reference every operand; they resolve by (origin, element)
+	// against the buffered copy.
+	seen map[elemID]map[int64]bool
 	// scratch
 	lhsIdx  []int
 	readIdx [][]int
@@ -451,6 +513,7 @@ func (s *progSchedule) buildNest(nest *ir.Nest) *nestSchedule {
 		written: make(map[elemID]bool),
 		cur:     make([][]pinstr, s.nprocs),
 		pairs:   make(map[int64][]elemID),
+		seen:    make(map[elemID]map[int64]bool),
 	}
 	var walk func(level int)
 	walk = func(level int) {
@@ -637,7 +700,19 @@ func (b *nestBuilder) instance(si int, stmt *ir.Stmt) {
 			b.exSlots[xi] = append(b.exSlots[xi], slot{src: sh.src, elem: sh.e, direct: true})
 		} else {
 			k := pairKey(sh.src, sh.ex)
-			b.pairs[k] = append(b.pairs[k], sh.e)
+			if b.s.collective {
+				m := b.seen[sh.e]
+				if m == nil {
+					m = make(map[int64]bool)
+					b.seen[sh.e] = m
+				}
+				if !m[k] {
+					m[k] = true
+					b.pairs[k] = append(b.pairs[k], sh.e)
+				}
+			} else {
+				b.pairs[k] = append(b.pairs[k], sh.e)
+			}
 			b.exSlots[xi] = append(b.exSlots[xi], slot{src: sh.src, elem: sh.e})
 		}
 	}
@@ -681,6 +756,7 @@ func (b *nestBuilder) instance(si int, stmt *ir.Stmt) {
 		b.ns.timeline = append(b.ns.timeline, top{kind: tCompute, a: int32(ex), b: int32(stmt.Flops)})
 	}
 	b.written[lhsElem] = true
+	delete(b.seen, lhsElem)
 }
 
 // recordFinalize pops a pending reduction and records everything the
@@ -716,6 +792,7 @@ func (b *nestBuilder) recordFinalize(e elemID) *finOp {
 		b.s.noteFinalize(e, f)
 	}
 	b.written[e] = true
+	delete(b.seen, e)
 	return f
 }
 
@@ -789,48 +866,16 @@ func containsElem(xs []elemID, v elemID) bool {
 	return false
 }
 
-// closeEpoch freezes the current epoch: every processor's vectored
-// exchange (sends in ascending destination order, then receives in
-// ascending source order) is prepended to its epoch instructions, and
-// the written set resets. At most one message crosses each ordered
-// pair per epoch and every processor sends before it receives, which
-// is what makes the value pass deadlock-free at ChanCap=1.
+// closeEpoch freezes the current epoch: the accumulated pair traffic
+// is lowered to its transport (the point-to-point vectored flush, or
+// the composed collective redistribution) and prepended to the epoch
+// instructions, and the written set resets.
 func (b *nestBuilder) closeEpoch() {
 	if len(b.pairs) > 0 {
-		keys := make([]int64, 0, len(b.pairs))
-		for k := range b.pairs {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		flushes := make(map[int32]*flushOp)
-		get := func(p int32) *flushOp {
-			f := flushes[p]
-			if f == nil {
-				f = &flushOp{}
-				flushes[p] = f
-			}
-			return f
-		}
-		// keys sorted by (src, dst): per-src send lists come out in
-		// ascending destination order.
-		for _, k := range keys {
-			src, dst := int32(k>>32), int32(k&0xffffffff)
-			get(src).sends = append(get(src).sends, flushSend{dst: dst, elems: b.pairs[k]})
-		}
-		// Receive lists in ascending source order.
-		sort.Slice(keys, func(i, j int) bool {
-			di, dj := keys[i]&0xffffffff, keys[j]&0xffffffff
-			if di != dj {
-				return di < dj
-			}
-			return keys[i]>>32 < keys[j]>>32
-		})
-		for _, k := range keys {
-			src, dst := int32(k>>32), int32(k&0xffffffff)
-			get(dst).recvs = append(get(dst).recvs, flushRecv{src: src, n: len(b.pairs[k])})
-		}
-		for p, f := range flushes {
-			b.cur[p] = append([]pinstr{{op: opFlush, flush: f}}, b.cur[p]...)
+		if b.s.collective {
+			b.lowerCollective()
+		} else {
+			b.lowerPairFlush()
 		}
 		b.pairs = make(map[int64][]elemID)
 	}
@@ -840,6 +885,210 @@ func (b *nestBuilder) closeEpoch() {
 	}
 	for e := range b.written {
 		delete(b.written, e)
+	}
+}
+
+// lowerPairFlush is the point-to-point lowering: every processor's
+// vectored exchange (sends in ascending destination order, then
+// receives in ascending source order). At most one message crosses
+// each ordered pair per epoch and every processor sends before it
+// receives, which is what makes the value pass deadlock-free at
+// ChanCap=1.
+func (b *nestBuilder) lowerPairFlush() {
+	keys := make([]int64, 0, len(b.pairs))
+	for k := range b.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	flushes := make(map[int32]*flushOp)
+	get := func(p int32) *flushOp {
+		f := flushes[p]
+		if f == nil {
+			f = &flushOp{}
+			flushes[p] = f
+		}
+		return f
+	}
+	// keys sorted by (src, dst): per-src send lists come out in
+	// ascending destination order.
+	for _, k := range keys {
+		src, dst := int32(k>>32), int32(k&0xffffffff)
+		get(src).sends = append(get(src).sends, flushSend{dst: dst, elems: b.pairs[k]})
+	}
+	// Receive lists in ascending source order.
+	sort.Slice(keys, func(i, j int) bool {
+		di, dj := keys[i]&0xffffffff, keys[j]&0xffffffff
+		if di != dj {
+			return di < dj
+		}
+		return keys[i]>>32 < keys[j]>>32
+	})
+	for _, k := range keys {
+		src, dst := int32(k>>32), int32(k&0xffffffff)
+		get(dst).recvs = append(get(dst).recvs, flushRecv{src: src, n: len(b.pairs[k])})
+	}
+	for p, f := range flushes {
+		b.cur[p] = append([]pinstr{{op: opFlush, flush: f}}, b.cur[p]...)
+	}
+}
+
+// lowerCollective composes the epoch's traffic into a collective
+// redistribution plan. Per source, each (already deduped) element's
+// destination set is classified: multi-destination elements group by
+// identical destination set and each group becomes a binomial
+// multicast-tree step rooted at the source (the tree moves the group
+// in log2(W+1) rounds and every edge carries the group once — the
+// same total words as the deduped star, with the source's send load
+// spread over the relays); single-destination elements remain a
+// vectored pair exchange, appended as the final round. Tree edges of
+// all steps with the same stride execute in the same round, merged
+// into one message per ordered pair, so every round keeps the
+// one-message-per-pair sends-before-receives shape that the
+// point-to-point flush relies on for ChanCap=1 deadlock freedom.
+func (b *nestBuilder) lowerCollective() {
+	keys := make([]int64, 0, len(b.pairs))
+	for k := range b.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Per source (ascending): each element's destination set, destinations
+	// ascending, elements in first-ship order.
+	type stepT struct {
+		origin  int32
+		members []int32 // origin + destinations, ascending
+		rootPos int     // origin's index in members
+		elems   []elemID
+	}
+	var steps []stepT
+	residual := make(map[int64][]elemID)
+	destsOf := make(map[elemID][]int32)
+	var order []elemID
+	var sig []byte
+	for i := 0; i < len(keys); {
+		src := int32(keys[i] >> 32)
+		for e := range destsOf {
+			delete(destsOf, e)
+		}
+		order = order[:0]
+		for ; i < len(keys) && int32(keys[i]>>32) == src; i++ {
+			dst := int32(keys[i] & 0xffffffff)
+			for _, e := range b.pairs[keys[i]] {
+				if destsOf[e] == nil {
+					order = append(order, e)
+				}
+				destsOf[e] = append(destsOf[e], dst)
+			}
+		}
+		groupIdx := make(map[string]int)
+		for _, e := range order {
+			dests := destsOf[e]
+			if len(dests) == 1 {
+				k := pairKey(src, dests[0])
+				residual[k] = append(residual[k], e)
+				continue
+			}
+			sig = sig[:0]
+			for _, d := range dests {
+				sig = append(sig, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+			}
+			gi, ok := groupIdx[string(sig)]
+			if !ok {
+				members := make([]int32, len(dests), len(dests)+1)
+				copy(members, dests)
+				pos := len(members)
+				for j, m := range members {
+					if src < m {
+						pos = j
+						break
+					}
+				}
+				members = append(members, 0)
+				copy(members[pos+1:], members[pos:])
+				members[pos] = src
+				gi = len(steps)
+				groupIdx[string(sig)] = gi
+				steps = append(steps, stepT{origin: src, members: members, rootPos: pos})
+			}
+			steps[gi].elems = append(steps[gi].elems, e)
+		}
+	}
+
+	// Round r moves every step's tree edges of stride 2^r, merged into
+	// one message per ordered pair (segments in step order, identically
+	// derived on both endpoints); the residual traffic is the last round.
+	maxRounds := 0
+	for _, st := range steps {
+		d := 0
+		for 1<<d < len(st.members) {
+			d++
+		}
+		if d > maxRounds {
+			maxRounds = d
+		}
+	}
+	rounds := make([]map[int64][]redistSeg, 0, maxRounds+1)
+	for r := 0; r < maxRounds; r++ {
+		stride := 1 << r
+		m := make(map[int64][]redistSeg)
+		for si := range steps {
+			st := &steps[si]
+			n := len(st.members)
+			for rel := 0; rel < stride && rel+stride < n; rel++ {
+				snd := st.members[(st.rootPos+rel)%n]
+				rcv := st.members[(st.rootPos+rel+stride)%n]
+				k := pairKey(snd, rcv)
+				m[k] = append(m[k], redistSeg{origin: st.origin, elems: st.elems})
+			}
+		}
+		rounds = append(rounds, m)
+	}
+	if len(residual) > 0 {
+		m := make(map[int64][]redistSeg)
+		for k, elems := range residual {
+			m[k] = []redistSeg{{origin: int32(k >> 32), elems: elems}}
+		}
+		rounds = append(rounds, m)
+	}
+
+	// Materialize per-processor round schedules: sends in ascending
+	// destination order, then receives in ascending source order.
+	ops := make(map[int32]*redistOp)
+	get := func(p int32) *redistOp {
+		op := ops[p]
+		if op == nil {
+			op = &redistOp{rounds: make([]redistRound, len(rounds))}
+			ops[p] = op
+		}
+		return op
+	}
+	ks := make([]int64, 0, 16)
+	for r, m := range rounds {
+		ks = ks[:0]
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		for _, k := range ks {
+			snd, rcv := int32(k>>32), int32(k&0xffffffff)
+			op := get(snd)
+			op.rounds[r].sends = append(op.rounds[r].sends, redistMsg{peer: rcv, segs: m[k]})
+		}
+		sort.Slice(ks, func(i, j int) bool {
+			di, dj := ks[i]&0xffffffff, ks[j]&0xffffffff
+			if di != dj {
+				return di < dj
+			}
+			return ks[i]>>32 < ks[j]>>32
+		})
+		for _, k := range ks {
+			snd, rcv := int32(k>>32), int32(k&0xffffffff)
+			op := get(rcv)
+			op.rounds[r].recvs = append(op.rounds[r].recvs, redistMsg{peer: snd, segs: m[k]})
+		}
+	}
+	for p, op := range ops {
+		b.cur[p] = append([]pinstr{{op: opRedist, redist: op}}, b.cur[p]...)
 	}
 }
 

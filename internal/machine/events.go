@@ -344,6 +344,7 @@ func (m *EventMachine) Run(body func(p *EventProc)) (Stats, error) {
 		m.wake(p, 0)
 	}
 	live := n
+	var batch []*EventProc
 	for live > 0 {
 		if m.ready.Len() == 0 {
 			// Every live processor is parked in Recv and no message can
@@ -357,16 +358,32 @@ func (m *EventMachine) Run(body func(p *EventProc)) (Stats, error) {
 			m.deadlocked = true
 			m.wakeWaiters()
 		}
-		p := heap.Pop(&m.ready).(*EventProc)
-		p.resume <- struct{}{}
-		sig := <-m.yield
-		if sig.done {
-			live--
-			if m.abortFlag {
-				// Unwind parked processors so their goroutines exit; any
-				// still-runnable processor keeps running and fails when it
-				// next needs a message, mirroring the dead-channel abort.
-				m.wakeWaiters()
+		// Drain every entry sharing the front's resume clock in one
+		// batch — the heap's rank tie-break hands them out in ascending
+		// rank — instead of one pop-resume round trip per message
+		// arrival. Synchronized schedules (epoch flushes, collective
+		// rounds) wake whole waves of processors at the same simulated
+		// time, so batching removes most of the per-arrival heap churn.
+		// A processor woken mid-batch at the same clock simply lands in
+		// the next batch; the scheduler order is a fidelity choice, not
+		// a correctness requirement (see the package comment).
+		batch = batch[:0]
+		front := heap.Pop(&m.ready).(*EventProc)
+		batch = append(batch, front)
+		for m.ready.Len() > 0 && m.ready[0].key == front.key {
+			batch = append(batch, heap.Pop(&m.ready).(*EventProc))
+		}
+		for _, p := range batch {
+			p.resume <- struct{}{}
+			sig := <-m.yield
+			if sig.done {
+				live--
+				if m.abortFlag {
+					// Unwind parked processors so their goroutines exit; any
+					// still-runnable processor keeps running and fails when it
+					// next needs a message, mirroring the dead-channel abort.
+					m.wakeWaiters()
+				}
 			}
 		}
 	}

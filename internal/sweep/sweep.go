@@ -66,6 +66,13 @@ type Options struct {
 	// A/B comparisons against the pre-pipelining transport. Part of the
 	// cache key, so both variants coexist in the store.
 	NoPipeline bool
+	// Redist picks the batched engine's operand-ship lowering for the
+	// exec and scale families (exec.Options.Redist): the collective
+	// redistribution (the default) or the point-to-point exchange, for
+	// A/B comparisons. The collective lowering is keyed explicitly in
+	// the artifact store; the p2p key matches the pre-collective one,
+	// whose cached transport numbers it reproduces.
+	Redist exec.Redist
 }
 
 func (o Options) warnf(format string, args ...any) {
@@ -509,17 +516,23 @@ func Exec(mList, nList []int, opt Options) (*Result, error) {
 						fmt.Sprintf("iters=%d;omega=%g", pr.iters, pr.scalars["OMEGA"]),
 						"machine=" + cfg.Fingerprint()}
 					if engine == "batched" && opt.NoPipeline {
-						// The default (pipelined) key stays byte-stable so
+						// The p2p/pipelined key stays byte-stable so
 						// pre-existing cache entries remain valid.
 						keyParts = append(keyParts, "pipeline=off")
 					}
-					noPipe := opt.NoPipeline
+					if engine == "batched" && opt.Redist != exec.RedistP2P {
+						// The collective lowering changes the transport
+						// metrics, so it gets its own key; the p2p arm keeps
+						// the pre-collective key whose numbers it reproduces.
+						keyParts = append(keyParts, "redist=collective")
+					}
+					noPipe, redist := opt.NoPipeline, opt.Redist
 					pts = append(pts, point{
 						variant: pr.name + "/" + engine, m: m, n: n,
 						key:     artifact.KeyOf(keyParts...),
 						wallCol: "wall_ns",
 						compute: func() (map[string]float64, error) {
-							return execPoint(pr.mk(), pr.scalars, pr.iters, pr.x0, engine, m, n, cfg, noPipe)
+							return execPoint(pr.mk(), pr.scalars, pr.iters, pr.x0, engine, m, n, cfg, noPipe, redist)
 						},
 					})
 				}
@@ -564,16 +577,21 @@ func Scale(mList, nList []int, opt Options) (*Result, error) {
 						opt.warnf("scale: skipping %s/goroutines at n=%d (> cap %d)", pr.name, n, ScaleGoroutineCapN)
 						continue
 					}
+					keyParts := []string{"kind=scale", "prog=" + core.ProgramHash(pr.mk()),
+						"engine=" + engine.String(), fmt.Sprintf("m=%d", m), fmt.Sprintf("n=%d", n),
+						fmt.Sprintf("iters=%d;omega=%g", pr.iters, pr.scalars["OMEGA"]),
+						"machine=" + cfg.Fingerprint()}
+					if opt.Redist != exec.RedistP2P {
+						keyParts = append(keyParts, "redist=collective")
+					}
+					redist := opt.Redist
 					var simNS float64
 					pts = append(pts, point{
 						variant: pr.name + "/" + engine.String(), m: m, n: n,
-						key: artifact.KeyOf("kind=scale", "prog="+core.ProgramHash(pr.mk()),
-							"engine="+engine.String(), fmt.Sprintf("m=%d", m), fmt.Sprintf("n=%d", n),
-							fmt.Sprintf("iters=%d;omega=%g", pr.iters, pr.scalars["OMEGA"]),
-							"machine="+cfg.Fingerprint()),
+						key:     artifact.KeyOf(keyParts...),
 						wallCol: "wall_ns",
 						compute: func() (map[string]float64, error) {
-							return scalePoint(pr.mk(), pr.scalars, pr.iters, pr.x0, engine, m, n, cfg, &simNS)
+							return scalePoint(pr.mk(), pr.scalars, pr.iters, pr.x0, engine, m, n, cfg, redist, &simNS)
 						},
 						moreWall: func() map[string]float64 {
 							if simNS == 0 {
@@ -593,7 +611,7 @@ func Scale(mList, nList []int, opt Options) (*Result, error) {
 	return &Result{Kind: "scale", Rows: rows}, nil
 }
 
-func scalePoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, engine exec.Engine, m, n int, cfg machine.Config, simNS *float64) (map[string]float64, error) {
+func scalePoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, engine exec.Engine, m, n int, cfg machine.Config, redist exec.Redist, simNS *float64) (map[string]float64, error) {
 	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
 	_, ss, err := c.SegmentCost(1, len(p.Nests))
 	if err != nil {
@@ -611,7 +629,7 @@ func scalePoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, e
 		}
 	}
 	res, err := exec.RunOpts(p, ss, map[string]int{"m": m}, scalars, iters, cfg, input,
-		exec.Options{Engine: engine})
+		exec.Options{Engine: engine, Redist: redist})
 	if err != nil {
 		return nil, err
 	}
@@ -628,7 +646,7 @@ func scalePoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, e
 	}, nil
 }
 
-func execPoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, engine string, m, n int, cfg machine.Config, noPipe bool) (map[string]float64, error) {
+func execPoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, engine string, m, n int, cfg machine.Config, noPipe bool, redist exec.Redist) (map[string]float64, error) {
 	c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": m}, n)
 	_, ss, err := c.SegmentCost(1, len(p.Nests))
 	if err != nil {
@@ -651,7 +669,7 @@ func execPoint(p *ir.Program, scalars map[string]float64, iters int, x0 bool, en
 		res, err = exec.RunExact(p, ss, bind, scalars, iters, cfg, input)
 	} else {
 		res, err = exec.RunOpts(p, ss, bind, scalars, iters, cfg, input,
-			exec.Options{NoPipeline: noPipe})
+			exec.Options{NoPipeline: noPipe, Redist: redist})
 	}
 	if err != nil {
 		return nil, err
