@@ -27,6 +27,7 @@ import (
 
 	"dmcc/internal/align"
 	"dmcc/internal/artifact"
+	"dmcc/internal/cli"
 	"dmcc/internal/codegen"
 	"dmcc/internal/core"
 	"dmcc/internal/cost"
@@ -51,6 +52,11 @@ func main() {
 	cacheDir := flag.String("cache-dir", ".dmcc-cache", "artifact cache directory")
 	flag.Parse()
 
+	// Validate flag values upfront so a typo is a usage error (exit 2),
+	// not a mid-pipeline runtime failure.
+	if err := applyEngine(&core.Compiler{}, *engine); err != nil {
+		cli.Usage("dmcc", err)
+	}
 	var p *ir.Program
 	if *file != "" {
 		src, err := os.ReadFile(*file)
@@ -72,8 +78,7 @@ func main() {
 		case "matmul":
 			p = ir.Cannon()
 		default:
-			fmt.Fprintf(os.Stderr, "dmcc: unknown program %q\n", *prog)
-			os.Exit(2)
+			cli.Usage("dmcc", fmt.Errorf("unknown program %q", *prog))
 		}
 	}
 	if err := compileReport(p, *m, *n, *greedy, *jobs, *engine, *useCache, *cacheDir); err != nil {
@@ -87,8 +92,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "dmcc: %v\n", err)
-	os.Exit(1)
+	cli.Fail("dmcc", err)
 }
 
 // compileReport renders the compile report, optionally through the

@@ -1,0 +1,149 @@
+// dmload drives GET /cost load against a plan-serving daemon (dmccd)
+// and reports tail latencies plus the counter deltas that prove the
+// warm path stayed warm. With -self it spins up an in-process daemon
+// over a throwaway cache — the hermetic mode CI gates on.
+//
+// Usage:
+//
+//	dmload -self -json > BENCH_serve.json       hermetic baseline capture
+//	dmload -self -json -baseline BENCH_serve.json
+//	                                            gate: regressions exit 1
+//	dmload -addr http://127.0.0.1:8077          load a running daemon
+//	dmload -self -dist hotkey -requests 20000 -conc 16 -min-rps 500
+//	                                            throughput floor: exit 1 below it
+//
+// Each -dist runs after one warm-up pass over -progs; the summary goes
+// to stderr, the sweep-shaped rows (kind "serve") to stdout. The
+// deterministic columns (requests, errors, misses_after_warm) are
+// baseline-gated; latency/throughput columns carry *_ns / *_wall names
+// so the gate's machine-dependence filter skips them. Exit codes:
+// 2 = bad usage, 1 = runtime failure or a failed gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"dmcc/internal/artifact"
+	"dmcc/internal/cli"
+	"dmcc/internal/serve"
+	"dmcc/internal/sweep"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8077", "daemon base URL")
+	self := flag.Bool("self", false, "load an in-process daemon over a temp cache (hermetic)")
+	dists := flag.String("dist", "hotkey,uniform", "comma-separated request distributions (hotkey, uniform)")
+	progs := flag.String("progs", "jacobi,sor,gauss", "comma-separated builtin programs to warm")
+	m := flag.Int("m", 64, "base problem size each plan is compiled at")
+	n := flag.Int("n", 8, "processor count each plan is compiled at")
+	requests := flag.Int("requests", 2000, "GET /cost requests per distribution")
+	conc := flag.Int("conc", 8, "client workers")
+	hotFrac := flag.Float64("hot-frac", 0.9, "hotkey distribution: fraction aimed at the first plan")
+	seed := flag.Int64("seed", 1, "request-schedule seed")
+	jsonOut := flag.Bool("json", false, "emit deterministic JSON instead of CSV")
+	baseline := flag.String("baseline", "", "baseline JSON file to diff against; regressions exit nonzero")
+	baselineTol := flag.Float64("baseline-tol", 0, "relative tolerance for -baseline (0.05 = 5%)")
+	minRPS := flag.Float64("min-rps", 0, "fail (exit 1) if any distribution falls below this throughput")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Usage("dmload", fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+	distList := splitList(*dists)
+	progList := splitList(*progs)
+	if len(distList) == 0 || len(progList) == 0 {
+		cli.Usage("dmload", fmt.Errorf("-dist and -progs must be non-empty"))
+	}
+	for _, d := range distList {
+		if d != "hotkey" && d != "uniform" {
+			cli.Usage("dmload", fmt.Errorf("unknown distribution %q (want hotkey or uniform)", d))
+		}
+	}
+
+	base := *addr
+	if *self {
+		dir, err := os.MkdirTemp("", "dmload-cache-")
+		if err != nil {
+			cli.Fail("dmload", err)
+		}
+		defer os.RemoveAll(dir)
+		store, err := artifact.Open(dir)
+		if err != nil {
+			cli.Fail("dmload", err)
+		}
+		srv, err := serve.New(serve.Config{Store: store})
+		if err != nil {
+			cli.Fail("dmload", err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Fprintf(os.Stderr, "dmload: hermetic daemon on %s (cache %s)\n", base, dir)
+	}
+
+	cfg := serve.LoadConfig{
+		BaseURL: base, Progs: progList, M: *m, N: *n,
+		Requests: *requests, Concurrency: *conc,
+		HotFrac: *hotFrac, Seed: *seed,
+	}
+	res, sums, err := serve.Harness(cfg, distList)
+	if err != nil {
+		cli.Fail("dmload", err)
+	}
+	for _, sum := range sums {
+		fmt.Fprintf(os.Stderr, "dmload: %s\n", sum)
+	}
+
+	if *jsonOut {
+		err = res.WriteJSON(os.Stdout)
+	} else {
+		err = res.WriteCSV(os.Stdout)
+	}
+	if err != nil {
+		cli.Fail("dmload", err)
+	}
+
+	failed := false
+	if *minRPS > 0 {
+		for _, sum := range sums {
+			if sum.RPS < *minRPS {
+				fmt.Fprintf(os.Stderr, "dmload: %s throughput %.0f req/s below floor %.0f\n", sum.Dist, sum.RPS, *minRPS)
+				failed = true
+			}
+		}
+	}
+	if *baseline != "" {
+		regs, notes, err := sweep.Compare(*baseline, res, *baselineTol)
+		if err != nil {
+			cli.Fail("dmload", err)
+		}
+		for _, note := range notes {
+			fmt.Fprintf(os.Stderr, "dmload: %s\n", note)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "dmload: %d regression(s) vs %s (tol %g):\n", len(regs), *baseline, *baselineTol)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "dmload:   %s\n", r)
+			}
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "dmload: baseline %s: no regressions (tol %g)\n", *baseline, *baselineTol)
+		}
+	}
+	if failed {
+		os.Exit(cli.ExitFailure)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"dmcc/internal/cli"
 	"dmcc/internal/core"
 	"dmcc/internal/cost"
 	"dmcc/internal/exec"
@@ -63,10 +64,25 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	// Validate flag values upfront: a typo is a usage error (exit 2),
+	// not a runtime failure (exit 1).
+	switch *kernel {
+	case "jacobi", "sor", "gauss", "cannon":
+	default:
+		cli.Usage("dmrun", fmt.Errorf("unknown kernel %q (want jacobi, sor, gauss or cannon)", *kernel))
+	}
+	engine, err := parseEngine(*engineName)
+	if err != nil {
+		cli.Usage("dmrun", err)
+	}
+	redist, err := parseRedist(*redistName)
+	if err != nil {
+		cli.Usage("dmrun", err)
+	}
+
 	stopProf, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dmrun: %v\n", err)
-		os.Exit(1)
+		cli.Fail("dmrun", err)
 	}
 	defer stopProf()
 
@@ -86,22 +102,13 @@ func main() {
 	}
 
 	if *execBackend {
-		var engine exec.Engine
-		var redist exec.Redist
-		engine, err = parseEngine(*engineName)
-		if err == nil {
-			redist, err = parseRedist(*redistName)
-		}
-		if err == nil {
-			err = runExec(*kernel, cfg, *m, *n, *iters, *seed, !*pipeline, engine, redist)
-		}
+		err = runExec(*kernel, cfg, *m, *n, *iters, *seed, !*pipeline, engine, redist)
 	} else {
 		err = run(*kernel, cfg, *m, *n, *n2, *iters, *naive, *broadcast, *seed)
 	}
 	if err != nil {
 		stopProf()
-		fmt.Fprintf(os.Stderr, "dmrun: %v\n", err)
-		os.Exit(1)
+		cli.Fail("dmrun", err)
 	}
 	if col != nil {
 		events := col.Events()

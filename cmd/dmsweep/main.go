@@ -69,6 +69,7 @@ import (
 	"strings"
 
 	"dmcc/internal/artifact"
+	"dmcc/internal/cli"
 	"dmcc/internal/exec"
 	"dmcc/internal/sweep"
 )
@@ -92,29 +93,35 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	// Malformed grids, an unknown sweep family or an unknown lowering are
+	// usage errors (exit 2); failures while sweeping exit 1.
+	switch *kind {
+	case "sor", "gauss", "jacobi", "stencil", "chunks", "compile", "symbolic", "exec", "scale":
+	default:
+		cli.Usage("dmsweep", fmt.Errorf("unknown sweep %q", *kind))
+	}
+	mList, err := parseInts(*ms)
+	if err != nil {
+		cli.Usage("dmsweep", err)
+	}
+	nList, err := parseInts(*ns)
+	if err != nil {
+		cli.Usage("dmsweep", err)
+	}
+	sList, err := parseInts(*ss)
+	if err != nil {
+		cli.Usage("dmsweep", err)
+	}
+	redist, err := parseRedist(*redistName)
+	if err != nil {
+		cli.Usage("dmsweep", err)
+	}
+
 	stopProf, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fail(err)
 	}
 	defer stopProf()
-
-	mList, err := parseInts(*ms)
-	if err != nil {
-		fail(err)
-	}
-	nList, err := parseInts(*ns)
-	if err != nil {
-		fail(err)
-	}
-	sList, err := parseInts(*ss)
-	if err != nil {
-		fail(err)
-	}
-
-	redist, err := parseRedist(*redistName)
-	if err != nil {
-		fail(err)
-	}
 
 	opt := sweep.Options{
 		Jobs:       *jobs,
@@ -193,8 +200,7 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "dmsweep: %v\n", err)
-	os.Exit(1)
+	cli.Fail("dmsweep", err)
 }
 
 // parseRedist maps the -redist flag value onto an exec.Redist.

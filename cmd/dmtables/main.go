@@ -11,10 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
 	"dmcc/internal/align"
+	"dmcc/internal/cli"
 	"dmcc/internal/ir"
 	"dmcc/internal/report"
 )
@@ -73,14 +73,12 @@ func main() {
 		}
 		s, err := a.gen()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dmtables: %s: %v\n", a.id, err)
-			os.Exit(1)
+			cli.Fail("dmtables", fmt.Errorf("%s: %v", a.id, err))
 		}
 		fmt.Printf("==================== [%s] ====================\n%s\n", a.id, s)
 		printed = true
 	}
 	if !printed {
-		fmt.Fprintf(os.Stderr, "dmtables: unknown artifact %q\n", *only)
-		os.Exit(2)
+		cli.Usage("dmtables", fmt.Errorf("unknown artifact %q", *only))
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,17 +47,22 @@ type header struct {
 	Sum    string `json:"sum"` // crc32c of the payload, hex
 }
 
-// Stats counts cache activity since Open.
+// Stats counts cache activity since Open. TouchFails counts mtime
+// touches that failed (read-only directory, noatime-style mounts) — the
+// condition under which GC ordering falls back to the in-process
+// recency index alone; Evictions counts records GC removed.
 type Stats struct {
 	Hits, Misses, Puts int64
 	BytesRead          int64
 	BytesWritten       int64
+	TouchFails         int64
+	Evictions          int64
 }
 
 // String renders the stats the way dmsweep reports them.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d puts=%d read=%dB written=%dB",
-		s.Hits, s.Misses, s.Puts, s.BytesRead, s.BytesWritten)
+	return fmt.Sprintf("hits=%d misses=%d puts=%d read=%dB written=%dB touchfails=%d evictions=%d",
+		s.Hits, s.Misses, s.Puts, s.BytesRead, s.BytesWritten, s.TouchFails, s.Evictions)
 }
 
 // Store is one cache directory. Safe for concurrent use.
@@ -67,9 +73,22 @@ type Store struct {
 	Warnf func(format string, args ...any)
 
 	hits, misses, puts, bytesRead, bytesWritten atomic.Int64
+	touchFails, evictions                       atomic.Int64
+
+	// touch updates a record's mtime after a hit; a test seam, defaults
+	// to os.Chtimes. Failures are counted, never fatal: the in-process
+	// recency index below stays authoritative for GC ordering.
+	touch func(path string) error
 
 	mu      sync.Mutex
 	flights map[string]*flight
+	// recency is the in-process LRU index: record path -> logical use
+	// tick, bumped on every hit and put. It is the primary GC ordering;
+	// mtimes only order records this process has never used (cold
+	// start), because a silently failing mtime touch would otherwise
+	// make GC evict the hottest records first.
+	recency map[string]int64
+	clock   int64
 }
 
 // Open creates the cache directory if needed and returns a store.
@@ -77,7 +96,31 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("artifact: open %s: %w", dir, err)
 	}
-	return &Store{dir: dir, flights: map[string]*flight{}}, nil
+	return &Store{
+		dir: dir,
+		touch: func(path string) error {
+			now := time.Now()
+			return os.Chtimes(path, now, now)
+		},
+		flights: map[string]*flight{},
+		recency: map[string]int64{},
+	}, nil
+}
+
+// noteUse bumps the record's in-process recency tick.
+func (s *Store) noteUse(path string) {
+	s.mu.Lock()
+	s.clock++
+	s.recency[path] = s.clock
+	s.mu.Unlock()
+}
+
+// InFlight reports the number of active single-flight computations — a
+// gauge, not a cumulative counter, so it lives outside Stats.
+func (s *Store) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.flights)
 }
 
 // Dir returns the store's directory.
@@ -91,6 +134,8 @@ func (s *Store) Stats() Stats {
 		Puts:         s.puts.Load(),
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
+		TouchFails:   s.touchFails.Load(),
+		Evictions:    s.evictions.Load(),
 	}
 }
 
@@ -149,9 +194,14 @@ func (s *Store) get(key string, countMiss bool) ([]byte, bool) {
 		os.Remove(p)
 		return miss()
 	}
-	// Touch for LRU-ish GC; best effort.
-	now := time.Now()
-	_ = os.Chtimes(p, now, now)
+	// The in-process recency index is the authoritative LRU ordering;
+	// the mtime touch only helps a future process order records this one
+	// used. A failed touch (read-only dir, noatime mount) is counted so
+	// operators can see when on-disk recency has gone stale.
+	s.noteUse(p)
+	if err := s.touch(p); err != nil {
+		s.touchFails.Add(1)
+	}
 	s.hits.Add(1)
 	s.bytesRead.Add(int64(len(raw)))
 	return payload, true
@@ -229,6 +279,7 @@ func (s *Store) Put(key string, payload []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("artifact: put: %w", err)
 	}
+	s.noteUse(p)
 	s.puts.Add(1)
 	s.bytesWritten.Add(int64(buf.Len()))
 	return nil
@@ -266,19 +317,46 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (payloa
 
 // GC removes least-recently-used records until the store's record bytes
 // fit in maxBytes. It returns the number of records removed.
+//
+// Ordering: records this process has used (hit or put) are ranked by
+// the in-process recency index; records it has never touched (cold
+// start, or written by another process) rank older than all of them and
+// order among themselves by mtime. GC is safe to run online against
+// live GetOrCompute traffic: keys with an active single-flight
+// computation are never evicted (a flight may have just Put its result,
+// or be about to), and in-progress Put temp files are left alone.
 func (s *Store) GC(maxBytes int64) (int, error) {
 	type rec struct {
 		path  string
 		size  int64
 		mtime time.Time
+		tick  int64 // in-process recency; 0 = never used by this process
 	}
+	// Snapshot the paths of active flights and the recency index before
+	// walking, so eviction decisions are consistent.
+	s.mu.Lock()
+	active := make(map[string]bool, len(s.flights))
+	for key := range s.flights {
+		active[s.path(key)] = true
+	}
+	ticks := make(map[string]int64, len(s.recency))
+	for p, t := range s.recency {
+		ticks[p] = t
+	}
+	s.mu.Unlock()
+
 	var recs []rec
 	var total int64
 	err := filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() {
 			return err
 		}
-		recs = append(recs, rec{path, info.Size(), info.ModTime()})
+		if strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			// A concurrent Put's scratch file: deleting it would race the
+			// rename and silently drop the computed record.
+			return nil
+		}
+		recs = append(recs, rec{path, info.Size(), info.ModTime(), ticks[path]})
 		total += info.Size()
 		return nil
 	})
@@ -288,18 +366,34 @@ func (s *Store) GC(maxBytes int64) (int, error) {
 	if total <= maxBytes {
 		return 0, nil
 	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].mtime.Before(recs[j].mtime) })
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if (a.tick == 0) != (b.tick == 0) {
+			return a.tick == 0 // cold records evict before any used one
+		}
+		if a.tick != b.tick {
+			return a.tick < b.tick
+		}
+		return a.mtime.Before(b.mtime)
+	})
 	removed := 0
 	for _, r := range recs {
 		if total <= maxBytes {
 			break
 		}
+		if active[r.path] {
+			continue
+		}
 		if err := os.Remove(r.path); err != nil {
 			s.warnf("artifact: gc: %v", err)
 			continue
 		}
+		s.mu.Lock()
+		delete(s.recency, r.path)
+		s.mu.Unlock()
 		total -= r.size
 		removed++
 	}
+	s.evictions.Add(int64(removed))
 	return removed, nil
 }

@@ -295,3 +295,138 @@ func TestKeyOf(t *testing.T) {
 		t.Fatal("KeyOf aliases distinct part lists")
 	}
 }
+
+// The in-process recency index is the primary GC ordering: when mtime
+// touches silently fail (read-only dir, noatime mount), a hot record
+// must still survive eviction. This was the ISSUE 8 bug: "best effort"
+// Chtimes made GC evict the hottest records first.
+func TestGCRecencyIndexSurvivesTouchFailure(t *testing.T) {
+	s, _ := openT(t)
+	s.touch = func(string) error { return fmt.Errorf("read-only filesystem") }
+	payload := bytes.Repeat([]byte("p"), 1024)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// key-00 is the oldest put but the hottest record: read it last.
+	if _, ok := s.Get("key-00"); !ok {
+		t.Fatal("key-00 missing before GC")
+	}
+	if st := s.Stats(); st.TouchFails != 1 {
+		t.Fatalf("TouchFails = %d, want 1", st.TouchFails)
+	}
+	if _, err := s.GC(2 * 1200); err != nil { // room for ~2 records
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("key-00"); !ok {
+		t.Fatal("GC evicted the hottest record (recency index ignored)")
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("Evictions = %d, want > 0", st.Evictions)
+	}
+}
+
+// Records never used by this process (cold start) order by mtime and
+// evict before anything the process has touched.
+func TestGCColdRecordsEvictFirst(t *testing.T) {
+	s, _ := openT(t)
+	payload := bytes.Repeat([]byte("p"), 1024)
+	for i := 0; i < 6; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen: the new store has no in-process recency for any record.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("key-0"); !ok { // key-0 becomes the only warm record
+		t.Fatal("key-0 missing")
+	}
+	if _, err := s2.GC(1200); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("key-0"); !ok {
+		t.Fatal("GC evicted the only record with in-process recency")
+	}
+}
+
+// GC must not evict a key with an active single-flight computation: a
+// flight may have just Put its result and still be handing it to
+// waiters. Under the dmccd daemon this is a steady-state race.
+func TestGCSkipsActiveFlights(t *testing.T) {
+	s, _ := openT(t)
+	payload := bytes.Repeat([]byte("p"), 1024)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("cold-%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("hot", payload); err != nil {
+		t.Fatal(err)
+	}
+	f := s.joinFlight("hot")
+	if removed, err := s.GC(0); err != nil || removed != 5 {
+		t.Fatalf("GC = %d, %v; want 5 (everything but the in-flight key)", removed, err)
+	}
+	if _, ok := s.Get("hot"); !ok {
+		t.Fatal("GC evicted a key with an active flight")
+	}
+	s.leaveFlight("hot", f)
+	if removed, err := s.GC(0); err != nil || removed != 1 {
+		t.Fatalf("GC after leaveFlight = %d, %v; want 1", removed, err)
+	}
+}
+
+// Online GC against live GetOrCompute traffic (run under -race): every
+// caller must still observe its correct payload with no error, no
+// matter how aggressively GC evicts behind it.
+func TestGCConcurrentWithGetOrCompute(t *testing.T) {
+	s, _ := openT(t)
+	const workers, rounds, keys = 4, 50, 8
+	stop := make(chan struct{})
+	var gcs sync.WaitGroup
+	gcs.Add(1)
+	go func() {
+		defer gcs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.GC(2 * 1200); err != nil {
+				t.Errorf("gc: %v", err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := fmt.Sprintf("key-%d", (w+r)%keys)
+				want := "payload:" + k
+				p, _, err := s.GetOrCompute(k, func() ([]byte, error) {
+					return append(bytes.Repeat([]byte("x"), 1024), []byte(want)...), nil
+				})
+				if err != nil {
+					t.Errorf("GetOrCompute(%s): %v", k, err)
+					return
+				}
+				if !bytes.HasSuffix(p, []byte(want)) {
+					t.Errorf("GetOrCompute(%s) = wrong payload", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	gcs.Wait()
+}

@@ -1,0 +1,31 @@
+// Package cli holds the exit-code convention shared by every binary in
+// cmd/: usage errors (bad flag values, unknown subcommand arguments)
+// exit 2 — matching flag.ExitOnError — and runtime failures (compile
+// errors, I/O, regressions, divergence) exit 1. Before ISSUE 8 the
+// binaries disagreed (dmcc exited 2 on usage, dmrun/dmsweep exited 1,
+// dmtables mixed both), which made scripted callers misclassify
+// operator typos as system failures.
+package cli
+
+import (
+	"fmt"
+	"os"
+)
+
+// Exit codes of the cmd/ binaries.
+const (
+	ExitFailure = 1 // runtime failure: the requested work could not be done
+	ExitUsage   = 2 // usage error: the request itself was malformed
+)
+
+// Usage reports a usage error for the named binary and exits 2.
+func Usage(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+	os.Exit(ExitUsage)
+}
+
+// Fail reports a runtime failure for the named binary and exits 1.
+func Fail(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+	os.Exit(ExitFailure)
+}

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"dmcc/internal/artifact"
+	"dmcc/internal/core"
+	"dmcc/internal/cost"
+	"dmcc/internal/ir"
+	"dmcc/internal/sweep"
+)
+
+// newTestServer builds a Server over a temp store and an httptest
+// frontend.
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *artifact.Store) {
+	t.Helper()
+	store, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Warnf = t.Logf
+	s, err := New(Config{Store: store, Jobs: 1, Warnf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, store
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func compileProg(t *testing.T, ts *httptest.Server, prog string, m, n int) CompileResponse {
+	t.Helper()
+	resp, raw := postJSON(t, ts.URL+"/compile", CompileRequest{Prog: prog, M: m, N: n})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /compile %s: %s: %s", prog, resp.Status, raw)
+	}
+	var cr CompileResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatalf("decoding compile response: %v", err)
+	}
+	return cr
+}
+
+// A frozen plan served over the HTTP boundary must thaw into an
+// evaluator that prices every size exactly like the in-process one —
+// serve -> fetch -> Thaw -> EvalAt parity, across the kernel set.
+func TestPlanRoundtripParity(t *testing.T) {
+	const m, n = 16, 4
+	progs := map[string]func() *ir.Program{
+		"jacobi": ir.Jacobi, "sor": ir.SOR, "gauss": ir.Gauss,
+	}
+	_, ts, _ := newTestServer(t)
+	for name, mk := range progs {
+		cr := compileProg(t, ts, name, m, n)
+		if cr.Cached {
+			t.Fatalf("%s: first compile reported cached", name)
+		}
+
+		resp, raw := getBody(t, ts.URL+"/plan/"+cr.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: GET /plan: %s: %s", name, resp.Status, raw)
+		}
+		var fp core.FrozenPlan
+		if err := json.Unmarshal(raw, &fp); err != nil {
+			t.Fatalf("%s: decoding served plan: %v", name, err)
+		}
+
+		thawC := core.NewCompiler(mk(), cost.Unit(), map[string]int{"m": m}, n)
+		thawed, err := core.Thaw(thawC, &fp)
+		if err != nil {
+			t.Fatalf("%s: thawing served plan: %v", name, err)
+		}
+		refC := core.NewCompiler(mk(), cost.Unit(), map[string]int{"m": m}, n)
+		refC.Jobs = 1
+		ref, _, _, err := sweep.PlanFor(refC, m, sweep.Options{})
+		if err != nil {
+			t.Fatalf("%s: in-process evaluator: %v", name, err)
+		}
+		for _, at := range []int{m, 24, 32, 64} {
+			want, err := ref.EvalAt(at)
+			if err != nil {
+				t.Fatalf("%s m=%d: ref EvalAt: %v", name, at, err)
+			}
+			got, err := thawed.EvalAt(at)
+			if err != nil {
+				t.Fatalf("%s m=%d: thawed EvalAt: %v", name, at, err)
+			}
+			if got != want {
+				t.Fatalf("%s m=%d: thawed %+v != in-process %+v", name, at, got, want)
+			}
+			// And the daemon's own /cost endpoint agrees.
+			resp, raw := getBody(t, fmt.Sprintf("%s/cost?key=%s&m=%d", ts.URL, cr.ID, at))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s m=%d: GET /cost: %s: %s", name, at, resp.Status, raw)
+			}
+			var rep CostReport
+			if err := json.Unmarshal(raw, &rep); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Total != want.Total() {
+				t.Fatalf("%s m=%d: /cost total %g != %g", name, at, rep.Total, want.Total())
+			}
+		}
+	}
+}
+
+// The second compile of a configuration is a warm hit, and warm /cost
+// traffic runs with zero store misses and zero cold compiles — the
+// counter-verified "never re-run the DP" property.
+func TestWarmPathCounters(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	first := compileProg(t, ts, "jacobi", 16, 4)
+	second := compileProg(t, ts, "jacobi", 16, 4)
+	if first.Cached || !second.Cached {
+		t.Fatalf("cached flags = %v, %v; want false, true", first.Cached, second.Cached)
+	}
+	ms := s.Metrics()
+	if ms.Server.Compiles != 1 || ms.Server.CompileHits != 1 {
+		t.Fatalf("compiles=%d hits=%d, want 1, 1", ms.Server.Compiles, ms.Server.CompileHits)
+	}
+
+	missesBefore := ms.Store.Misses
+	evalsBefore := ms.Server.CostEvals
+	for i := 0; i < 50; i++ {
+		resp, raw := getBody(t, fmt.Sprintf("%s/cost?key=%s&m=%d", ts.URL, first.ID, 16+8*i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /cost #%d: %s: %s", i, resp.Status, raw)
+		}
+	}
+	ms = s.Metrics()
+	if ms.Store.Misses != missesBefore {
+		t.Fatalf("warm /cost traffic caused %d store misses", ms.Store.Misses-missesBefore)
+	}
+	if ms.Server.Compiles != 1 {
+		t.Fatalf("warm /cost traffic re-compiled: compiles=%d", ms.Server.Compiles)
+	}
+	if ms.Server.CostEvals != evalsBefore+50 {
+		t.Fatalf("cost_evals=%d, want %d", ms.Server.CostEvals, evalsBefore+50)
+	}
+	if ep := ms.Endpoints["cost"]; ep.Requests < 50 || ep.P99us <= 0 {
+		t.Fatalf("cost endpoint snapshot = %+v", ep)
+	}
+}
+
+// Malformed and stale frozen plans crossing the HTTP boundary must be
+// clean 4xx responses — never panics, never 5xx.
+func TestMalformedPlanRejected(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	cr := compileProg(t, ts, "jacobi", 16, 4)
+
+	// Fetch the real plan so the mutations below are realistic.
+	_, planRaw := getBody(t, ts.URL+"/plan/"+cr.ID)
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"not json at all", `{"prog":"jacobi","m":16,"n":4,"plan":"not-a-plan"}`, http.StatusUnprocessableEntity},
+		{"wrong baseM", `{"prog":"jacobi","m":32,"n":4,"plan":` + string(planRaw) + `}`, http.StatusUnprocessableEntity},
+		{"segments do not tile", `{"prog":"jacobi","m":16,"n":4,"plan":{"baseM":16,"segments":[{"start":5,"len":1,"shape":[1,4]}]}}`, http.StatusUnprocessableEntity},
+		{"empty plan", `{"prog":"jacobi","m":16,"n":4}`, http.StatusBadRequest},
+		{"unknown program", `{"prog":"nope","m":16,"n":4,"plan":` + string(planRaw) + `}`, http.StatusBadRequest},
+		{"garbage body", `{{{`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/plan", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, raw)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(raw, &e); err != nil || e["error"] == "" {
+			t.Fatalf("%s: error body %q not a clean JSON error", tc.name, raw)
+		}
+	}
+
+	// A well-formed plan installs fine and prices identically.
+	resp, raw := postJSON(t, ts.URL+"/plan", json.RawMessage(
+		`{"prog":"jacobi","m":16,"n":4,"plan":`+string(planRaw)+`}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid install: %s: %s", resp.Status, raw)
+	}
+	var ir2 CompileResponse
+	if err := json.Unmarshal(raw, &ir2); err != nil {
+		t.Fatal(err)
+	}
+	if ir2.ID != cr.ID || ir2.Cost.Total != cr.Cost.Total {
+		t.Fatalf("installed plan id/cost = %s/%g, want %s/%g", ir2.ID, ir2.Cost.Total, cr.ID, cr.Cost.Total)
+	}
+}
+
+// Bad query parameters and unknown plan handles are 4xx, not panics.
+func TestCostParamValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	cr := compileProg(t, ts, "sor", 16, 4)
+	cases := []struct {
+		url    string
+		status int
+	}{
+		{"/cost?key=" + cr.ID + "&m=abc", http.StatusBadRequest},
+		{"/cost?key=" + cr.ID + "&m=0", http.StatusBadRequest},
+		{"/cost?key=" + cr.ID + "&m=9999999999", http.StatusBadRequest},
+		{"/cost?m=16", http.StatusBadRequest},
+		{"/cost?key=deadbeef&m=16", http.StatusNotFound},
+		{"/plan/deadbeef", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp, raw := getBody(t, ts.URL+tc.url)
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.url, resp.StatusCode, tc.status, raw)
+		}
+	}
+	resp, raw := postJSON(t, ts.URL+"/compile", CompileRequest{Prog: "jacobi", M: -1, N: 4})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative m: %s: %s", resp.Status, raw)
+	}
+}
+
+// A plan evicted from disk is still served: /cost prices it from the
+// in-memory evaluator and /plan re-freezes it on demand.
+func TestServingSurvivesEviction(t *testing.T) {
+	_, ts, store := newTestServer(t)
+	cr := compileProg(t, ts, "jacobi", 16, 4)
+	if _, err := store.GC(0); err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := getBody(t, fmt.Sprintf("%s/cost?key=%s&m=32", ts.URL, cr.ID))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /cost after eviction: %s: %s", resp.Status, raw)
+	}
+	resp, raw = getBody(t, ts.URL+"/plan/"+cr.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /plan after eviction: %s: %s", resp.Status, raw)
+	}
+	var fp core.FrozenPlan
+	if err := json.Unmarshal(raw, &fp); err != nil {
+		t.Fatalf("re-frozen plan does not decode: %v", err)
+	}
+	if fp.BaseM != 16 || len(fp.Segments) == 0 {
+		t.Fatalf("re-frozen plan = %+v", fp)
+	}
+}
+
+// The load harness end to end against an in-process daemon: exact
+// request counts, zero errors, zero compile misses after warm-up, and
+// rows shaped for the baseline gate.
+func TestLoadHarness(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	cfg := LoadConfig{
+		BaseURL: ts.URL, Progs: []string{"jacobi", "sor"},
+		M: 16, N: 4, Requests: 200, Concurrency: 4, Seed: 1,
+	}
+	res, sums, err := Harness(cfg, []string{"hotkey", "uniform"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(sums) != 2 {
+		t.Fatalf("rows=%d sums=%d, want 2, 2", len(res.Rows), len(sums))
+	}
+	for _, sum := range sums {
+		if sum.Errors != 0 {
+			t.Fatalf("%s: %d errors", sum.Dist, sum.Errors)
+		}
+		if sum.MissesAfterWarm != 0 {
+			t.Fatalf("%s: %d misses after warm-up", sum.Dist, sum.MissesAfterWarm)
+		}
+		if sum.Requests != cfg.Requests {
+			t.Fatalf("%s: %d requests, want %d", sum.Dist, sum.Requests, cfg.Requests)
+		}
+		if sum.P99 <= 0 || sum.P99 < sum.P50 {
+			t.Fatalf("%s: p50=%v p99=%v", sum.Dist, sum.P50, sum.P99)
+		}
+	}
+	for _, row := range res.Rows {
+		if row.Metrics["errors"] != 0 || row.Metrics["misses_after_warm"] != 0 {
+			t.Fatalf("row %s gateable metrics = %v", row.Variant, row.Metrics)
+		}
+		if row.Metrics["p99_ns"] <= 0 || row.Metrics["rps_wall"] <= 0 {
+			t.Fatalf("row %s wall metrics = %v", row.Variant, row.Metrics)
+		}
+	}
+	// The emitted JSON parses as its own baseline with zero regressions.
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	base := t.TempDir() + "/BENCH_serve.json"
+	if err := os.WriteFile(base, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	regs, _, err := sweep.Compare(base, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+}

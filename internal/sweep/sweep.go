@@ -396,7 +396,7 @@ func Symbolic(mList, nList []int, opt Options) (*Result, error) {
 			baseM := symbolicBaseM(n)
 			c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": baseM}, n)
 			c.Jobs = opt.Jobs
-			pe, fitErr, err := planFor(c, baseM, opt)
+			pe, fitErr, _, err := PlanFor(c, baseM, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -428,10 +428,21 @@ func Symbolic(mList, nList []int, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// planFor returns a ready PlanEvaluator for the compiler — thawed from
+// PlanKey is the artifact-store key under which the compiler's frozen,
+// fitted plan is cached. It is shared between the symbolic sweep and
+// the dmccd daemon (internal/serve), so a plan compiled by either is a
+// warm hit for the other.
+func PlanKey(c *core.Compiler, baseM int) string {
+	return artifact.KeyOf("kind=planfit", c.CacheKey(), fmt.Sprintf("fit=minM%d,deg3,val2", baseM))
+}
+
+// PlanFor returns a ready PlanEvaluator for the compiler — thawed from
 // the artifact store when possible, otherwise compiled, fitted and
-// frozen into the store.
-func planFor(c *core.Compiler, baseM int, opt Options) (*core.PlanEvaluator, string, error) {
+// frozen into the store under PlanKey. cached reports whether the plan
+// came from the store rather than a fresh compile; fitErr records why
+// symbolic fitting was declined (the evaluator then prices points
+// through the analytic engine — still never the DP).
+func PlanFor(c *core.Compiler, baseM int, opt Options) (pe *core.PlanEvaluator, fitErr string, cached bool, err error) {
 	build := func() (*core.PlanEvaluator, string, error) {
 		pe, err := core.NewPlanEvaluator(c)
 		if err != nil {
@@ -444,12 +455,10 @@ func planFor(c *core.Compiler, baseM int, opt Options) (*core.PlanEvaluator, str
 		return pe, fitErr, nil
 	}
 	if opt.Cache == nil {
-		return build()
+		pe, fitErr, err = build()
+		return pe, fitErr, false, err
 	}
-	key := artifact.KeyOf("kind=planfit", c.CacheKey(), fmt.Sprintf("fit=minM%d,deg3,val2", baseM))
-	var pe *core.PlanEvaluator
-	var fitErr string
-	payload, cached, err := opt.Cache.GetOrCompute(key, func() ([]byte, error) {
+	payload, cached, err := opt.Cache.GetOrCompute(PlanKey(c, baseM), func() ([]byte, error) {
 		var err error
 		pe, fitErr, err = build()
 		if err != nil {
@@ -460,22 +469,24 @@ func planFor(c *core.Compiler, baseM int, opt Options) (*core.PlanEvaluator, str
 		return json.Marshal(fp)
 	})
 	if err != nil {
-		return nil, "", err
+		return nil, "", false, err
 	}
 	if pe != nil && !cached {
-		return pe, fitErr, nil // we computed it in this flight
+		return pe, fitErr, false, nil // we computed it in this flight
 	}
 	var fp core.FrozenPlan
 	if err := json.Unmarshal(payload, &fp); err != nil {
 		opt.warnf("sweep: undecodable frozen plan (%v); recompiling", err)
-		return build()
+		pe, fitErr, err = build()
+		return pe, fitErr, false, err
 	}
 	thawed, err := core.Thaw(c, &fp)
 	if err != nil {
 		opt.warnf("sweep: stale frozen plan (%v); recompiling", err)
-		return build()
+		pe, fitErr, err = build()
+		return pe, fitErr, false, err
 	}
-	return thawed, fp.FitErr, nil
+	return thawed, fp.FitErr, true, nil
 }
 
 // --------------------------------------------------------------- exec --
