@@ -18,11 +18,23 @@
 // baseline-gated; latency/throughput columns carry *_ns / *_wall names
 // so the gate's machine-dependence filter skips them. Exit codes:
 // 2 = bad usage, 1 = runtime failure or a failed gate.
+//
+// The remote-warm distribution (requires -self) measures the shared
+// fleet store end to end: an upstream daemon cold-compiles the key set
+// (the only DP runs in the whole arm), then a fresh front daemon —
+// tiered over the upstream's /artifact store — prewarms its cache and
+// plan registry from the peer inventory and serves the entire load
+// without compiling anything. Its row gates compiles=0,
+// remote_errors=0 and prewarmed_keys alongside misses_after_warm=0.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -57,9 +69,19 @@ func main() {
 	if len(distList) == 0 || len(progList) == 0 {
 		cli.Usage("dmload", fmt.Errorf("-dist and -progs must be non-empty"))
 	}
+	remoteWarm := false
+	stdDists := distList[:0:0]
 	for _, d := range distList {
-		if d != "hotkey" && d != "uniform" {
-			cli.Usage("dmload", fmt.Errorf("unknown distribution %q (want hotkey or uniform)", d))
+		switch d {
+		case "hotkey", "uniform":
+			stdDists = append(stdDists, d)
+		case "remote-warm":
+			if !*self {
+				cli.Usage("dmload", fmt.Errorf("-dist remote-warm requires -self (it builds its own daemon pair)"))
+			}
+			remoteWarm = true
+		default:
+			cli.Usage("dmload", fmt.Errorf("unknown distribution %q (want hotkey, uniform or remote-warm)", d))
 		}
 	}
 
@@ -89,9 +111,18 @@ func main() {
 		Requests: *requests, Concurrency: *conc,
 		HotFrac: *hotFrac, Seed: *seed,
 	}
-	res, sums, err := serve.Harness(cfg, distList)
+	res, sums, err := serve.Harness(cfg, stdDists)
 	if err != nil {
 		cli.Fail("dmload", err)
+	}
+	if remoteWarm {
+		sum, err := runRemoteWarm(cfg)
+		if err != nil {
+			cli.Fail("dmload", fmt.Errorf("load remote-warm: %w", err))
+		}
+		sums = append(sums, sum)
+		res.Rows = append(res.Rows, serve.Row(sum, cfg))
+		sweep.SortRows(res.Rows)
 	}
 	for _, sum := range sums {
 		fmt.Fprintf(os.Stderr, "dmload: %s\n", sum)
@@ -136,6 +167,83 @@ func main() {
 	if failed {
 		os.Exit(cli.ExitFailure)
 	}
+}
+
+// runRemoteWarm builds the two-daemon pair of the remote-warm arm and
+// drives the load against the prewarmed front. The returned summary
+// carries the fleet counters (compiles, remote_errors, prewarmed_keys)
+// as extra deterministic metrics.
+func runRemoteWarm(cfg serve.LoadConfig) (*serve.LoadSummary, error) {
+	// The upstream daemon owns the fleet's only cold compiles.
+	upDir, err := os.MkdirTemp("", "dmload-upstream-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(upDir)
+	upStore, err := artifact.Open(upDir)
+	if err != nil {
+		return nil, err
+	}
+	upSrv, err := serve.New(serve.Config{Store: upStore})
+	if err != nil {
+		return nil, err
+	}
+	upTS := httptest.NewServer(upSrv.Handler())
+	defer upTS.Close()
+	for _, prog := range cfg.Progs {
+		body, err := json.Marshal(serve.CompileRequest{Prog: prog, M: cfg.M, N: cfg.N})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(upTS.URL+"/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("upstream compile %s: %w", prog, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("upstream compile %s: %s", prog, resp.Status)
+		}
+	}
+
+	// The front daemon starts empty, tiered over the upstream's
+	// /artifact store, and comes up warm from the peer inventory.
+	frontDir, err := os.MkdirTemp("", "dmload-front-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(frontDir)
+	frontStore, err := artifact.Open(frontDir)
+	if err != nil {
+		return nil, err
+	}
+	tiered := artifact.NewTiered(frontStore, artifact.OpenRemote(upTS.URL, artifact.RemoteOptions{}))
+	frontSrv, err := serve.New(serve.Config{Store: tiered})
+	if err != nil {
+		return nil, err
+	}
+	keys, pulled, err := tiered.Prewarm()
+	if err != nil {
+		return nil, fmt.Errorf("prewarm: %w", err)
+	}
+	plans := frontSrv.PrewarmPlans(keys)
+	fmt.Fprintf(os.Stderr, "dmload: remote-warm front prewarmed %d artifacts, %d plans from %s\n",
+		pulled, plans, upTS.URL)
+	frontTS := httptest.NewServer(frontSrv.Handler())
+	defer frontTS.Close()
+
+	cfg.BaseURL = frontTS.URL
+	sum, err := serve.Load(cfg, "remote-warm")
+	if err != nil {
+		return nil, err
+	}
+	ms := frontSrv.Metrics()
+	sum.Extra = map[string]float64{
+		"compiles":       float64(ms.Server.Compiles),
+		"remote_errors":  float64(ms.Store.RemoteErrors),
+		"prewarmed_keys": float64(ms.Store.PrewarmedKeys),
+	}
+	return sum, nil
 }
 
 func splitList(s string) []string {

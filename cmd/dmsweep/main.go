@@ -57,6 +57,26 @@
 //	                                           diff this sweep against a
 //	                                           committed baseline and exit
 //	                                           nonzero on regressions
+//
+// Sharding and peer stores:
+//
+//	dmsweep -sweep compile -shard 0/2 -json    run half the points (the
+//	                                           canonical order is split
+//	                                           round-robin; shards are
+//	                                           disjoint and exhaustive)
+//	dmsweep -merge s0.json,s1.json             reassemble sharded -json
+//	                                           outputs into the canonical
+//	                                           document (byte-identical to
+//	                                           the unsharded run; -baseline
+//	                                           applies to the merge)
+//	dmsweep -sweep compile -store-remote http://host:8077
+//	                                           tier the cache over a peer
+//	                                           daemon's /artifact store
+//	                                           (implies -cache): warm
+//	                                           points are pulled from the
+//	                                           peer, computed points are
+//	                                           written through — sharded
+//	                                           workers share one store
 package main
 
 import (
@@ -67,6 +87,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"dmcc/internal/artifact"
 	"dmcc/internal/cli"
@@ -89,9 +110,25 @@ func main() {
 	baselineTol := flag.Float64("baseline-tol", 0, "relative tolerance for -baseline (0.05 = 5%)")
 	pipeline := flag.Bool("pipeline", true, "exec sweep: vectored two-phase / ring reduction exchange (false = per-element finalizes)")
 	redistName := flag.String("redist", "auto", "exec/scale sweeps: scheme-change lowering (auto, collective, p2p)")
+	shard := flag.String("shard", "", "run one shard of the sweep, as k/n (e.g. 0/2, 1/2)")
+	storeRemote := flag.String("store-remote", "", "peer daemon URL to tier the cache over (implies -cache)")
+	remoteTimeout := flag.Duration("remote-timeout", 5*time.Second, "per-call bound on peer store requests")
+	merge := flag.String("merge", "", "comma-separated sharded -json outputs to reassemble (skips sweeping; emits JSON)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *merge != "" {
+		res, err := sweep.MergeFiles(strings.Split(*merge, ","))
+		if err != nil {
+			fail(err)
+		}
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		gate(res, *baseline, *baselineTol)
+		return
+	}
 
 	// Malformed grids, an unknown sweep family or an unknown lowering are
 	// usage errors (exit 2); failures while sweeping exit 1.
@@ -116,6 +153,10 @@ func main() {
 	if err != nil {
 		cli.Usage("dmsweep", err)
 	}
+	shardK, shardN, err := parseShard(*shard)
+	if err != nil {
+		cli.Usage("dmsweep", err)
+	}
 
 	stopProf, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -128,18 +169,25 @@ func main() {
 		Workers:    *workers,
 		NoPipeline: !*pipeline,
 		Redist:     redist,
+		Shard:      shardK,
+		ShardCount: shardN,
 		Warnf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "dmsweep: "+format+"\n", args...)
 		},
 	}
 	var store *artifact.Store
-	if *useCache {
+	if *useCache || *storeRemote != "" {
 		store, err = artifact.Open(*cacheDir)
 		if err != nil {
 			fail(err)
 		}
 		store.Warnf = opt.Warnf
 		opt.Cache = store
+		if *storeRemote != "" {
+			opt.Cache = artifact.NewTiered(store, artifact.OpenRemote(*storeRemote, artifact.RemoteOptions{
+				Timeout: *remoteTimeout, Warnf: opt.Warnf,
+			}))
+		}
 	}
 
 	var res *sweep.Result
@@ -180,27 +228,51 @@ func main() {
 		}
 	}
 
-	if *baseline != "" {
-		regs, notes, err := sweep.Compare(*baseline, res, *baselineTol)
-		if err != nil {
-			fail(err)
-		}
-		for _, note := range notes {
-			fmt.Fprintf(os.Stderr, "dmsweep: %s\n", note)
-		}
-		if len(regs) > 0 {
-			fmt.Fprintf(os.Stderr, "dmsweep: %d regression(s) vs %s (tol %g):\n", len(regs), *baseline, *baselineTol)
-			for _, r := range regs {
-				fmt.Fprintf(os.Stderr, "dmsweep:   %s\n", r)
-			}
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "dmsweep: baseline %s: no regressions (tol %g)\n", *baseline, *baselineTol)
+	gate(res, *baseline, *baselineTol)
+}
+
+// gate applies the baseline diff, exiting nonzero on regressions. A
+// no-op with no baseline file.
+func gate(res *sweep.Result, baseline string, tol float64) {
+	if baseline == "" {
+		return
 	}
+	regs, notes, err := sweep.Compare(baseline, res, tol)
+	if err != nil {
+		fail(err)
+	}
+	for _, note := range notes {
+		fmt.Fprintf(os.Stderr, "dmsweep: %s\n", note)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "dmsweep: %d regression(s) vs %s (tol %g):\n", len(regs), baseline, tol)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "dmsweep:   %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dmsweep: baseline %s: no regressions (tol %g)\n", baseline, tol)
 }
 
 func fail(err error) {
 	cli.Fail("dmsweep", err)
+}
+
+// parseShard parses the -shard k/n spec; "" means unsharded.
+func parseShard(s string) (k, n int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	kStr, nStr, found := strings.Cut(s, "/")
+	if !found {
+		return 0, 0, fmt.Errorf("bad -shard %q (want k/n, e.g. 0/2)", s)
+	}
+	k, errK := strconv.Atoi(kStr)
+	n, errN := strconv.Atoi(nStr)
+	if errK != nil || errN != nil || n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q (want 0 <= k < n)", s)
+	}
+	return k, n, nil
 }
 
 // parseRedist maps the -redist flag value onto an exec.Redist.

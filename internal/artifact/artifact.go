@@ -15,12 +15,15 @@
 package artifact
 
 import (
+	"bufio"
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -51,18 +54,36 @@ type header struct {
 // touches that failed (read-only directory, noatime-style mounts) — the
 // condition under which GC ordering falls back to the in-process
 // recency index alone; Evictions counts records GC removed.
+//
+// The tier counters are zero for the plain disk store: LocalHits and
+// RemoteHits split the Tiered backend's Hits by the tier that served
+// them, RemoteErrors counts remote calls that exhausted their retries
+// (the degraded-to-local signal), and Prewarmed counts keys pulled from
+// a peer's inventory at startup.
 type Stats struct {
 	Hits, Misses, Puts int64
 	BytesRead          int64
 	BytesWritten       int64
 	TouchFails         int64
 	Evictions          int64
+	LocalHits          int64
+	RemoteHits         int64
+	RemoteErrors       int64
+	Prewarmed          int64
 }
 
-// String renders the stats the way dmsweep reports them.
+// String renders the stats the way dmsweep reports them. The tier
+// fields appear only when any of them is nonzero, so the single-tier
+// line stays what it always was. (No field name may end in "misses" or
+// "hits": CI greps for "misses=0" on warm sweeps.)
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d puts=%d read=%dB written=%dB touchfails=%d evictions=%d",
+	base := fmt.Sprintf("hits=%d misses=%d puts=%d read=%dB written=%dB touchfails=%d evictions=%d",
 		s.Hits, s.Misses, s.Puts, s.BytesRead, s.BytesWritten, s.TouchFails, s.Evictions)
+	if s.LocalHits != 0 || s.RemoteHits != 0 || s.RemoteErrors != 0 || s.Prewarmed != 0 {
+		base += fmt.Sprintf(" local=%d remote=%d remote_errors=%d prewarmed=%d",
+			s.LocalHits, s.RemoteHits, s.RemoteErrors, s.Prewarmed)
+	}
+	return base
 }
 
 // Store is one cache directory. Safe for concurrent use.
@@ -80,8 +101,9 @@ type Store struct {
 	// recency index below stays authoritative for GC ordering.
 	touch func(path string) error
 
-	mu      sync.Mutex
-	flights map[string]*flight
+	flights flightGroup
+
+	mu sync.Mutex
 	// recency is the in-process LRU index: record path -> logical use
 	// tick, bumped on every hit and put. It is the primary GC ordering;
 	// mtimes only order records this process has never used (cold
@@ -90,6 +112,9 @@ type Store struct {
 	recency map[string]int64
 	clock   int64
 }
+
+// Store implements Backend.
+var _ Backend = (*Store)(nil)
 
 // Open creates the cache directory if needed and returns a store.
 func Open(dir string) (*Store, error) {
@@ -102,7 +127,6 @@ func Open(dir string) (*Store, error) {
 			now := time.Now()
 			return os.Chtimes(path, now, now)
 		},
-		flights: map[string]*flight{},
 		recency: map[string]int64{},
 	}, nil
 }
@@ -117,10 +141,19 @@ func (s *Store) noteUse(path string) {
 
 // InFlight reports the number of active single-flight computations — a
 // gauge, not a cumulative counter, so it lives outside Stats.
-func (s *Store) InFlight() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.flights)
+func (s *Store) InFlight() int { return s.flights.active() }
+
+// HasFlight reports whether key has an in-progress single-flight
+// computation (see FlightChecker).
+func (s *Store) HasFlight(key string) bool { return s.flights.has(key) }
+
+// Contains reports whether a record exists on disk for key, without
+// validating it or counting a hit/miss — the cheap existence probe
+// prewarming uses to skip keys that are already local. A damaged
+// record reports true here; the next Get drops it as usual.
+func (s *Store) Contains(key string) bool {
+	_, err := os.Stat(s.path(key))
+	return err == nil
 }
 
 // Dir returns the store's directory.
@@ -295,7 +328,7 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (payloa
 	if p, ok := s.Get(key); ok {
 		return p, true, nil
 	}
-	f := s.joinFlight(key)
+	f := s.flights.join(key)
 	f.once.Do(func() {
 		// Re-check under the flight: a concurrent worker may have
 		// finished its Put between our Get and joining. The miss above
@@ -311,8 +344,56 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (payloa
 			}
 		}
 	})
-	s.leaveFlight(key, f)
+	s.flights.leave(key, f)
 	return f.payload, f.cached, f.err
+}
+
+// Keys enumerates the key texts of every valid-looking record on disk,
+// sorted — the store's inventory, served as GET /keys and consumed by
+// peer prewarming. Only record headers are read, never payloads;
+// undecodable files are skipped (the next Get drops them).
+func (s *Store) Keys() ([]string, error) {
+	var keys []string
+	err := filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if errors.Is(err, fs.ErrNotExist) {
+			// A concurrent Put renamed its scratch file (or GC removed a
+			// record) between readdir and lstat; nothing to list.
+			return nil
+		}
+		if err != nil || info.IsDir() || strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			return err
+		}
+		key, ok := readHeaderKey(path)
+		if ok {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("artifact: keys: %w", err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// readHeaderKey reads just the header line of a record file and returns
+// its key text.
+func readHeaderKey(path string) (string, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", false
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 4096)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return "", false
+	}
+	var h header
+	if err := json.Unmarshal(line, &h); err != nil || h.Schema != SchemaVersion {
+		return "", false
+	}
+	return h.Key, true
 }
 
 // GC removes least-recently-used records until the store's record bytes
@@ -334,11 +415,12 @@ func (s *Store) GC(maxBytes int64) (int, error) {
 	}
 	// Snapshot the paths of active flights and the recency index before
 	// walking, so eviction decisions are consistent.
-	s.mu.Lock()
-	active := make(map[string]bool, len(s.flights))
-	for key := range s.flights {
+	flightKeys := s.flights.keys()
+	active := make(map[string]bool, len(flightKeys))
+	for _, key := range flightKeys {
 		active[s.path(key)] = true
 	}
+	s.mu.Lock()
 	ticks := make(map[string]int64, len(s.recency))
 	for p, t := range s.recency {
 		ticks[p] = t
@@ -348,6 +430,11 @@ func (s *Store) GC(maxBytes int64) (int, error) {
 	var recs []rec
 	var total int64
 	err := filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if errors.Is(err, fs.ErrNotExist) {
+			// A concurrent Put renamed its scratch file between readdir
+			// and lstat; it was never a record to account.
+			return nil
+		}
 		if err != nil || info.IsDir() {
 			return err
 		}

@@ -367,14 +367,14 @@ func TestGCSkipsActiveFlights(t *testing.T) {
 	if err := s.Put("hot", payload); err != nil {
 		t.Fatal(err)
 	}
-	f := s.joinFlight("hot")
+	f := s.flights.join("hot")
 	if removed, err := s.GC(0); err != nil || removed != 5 {
 		t.Fatalf("GC = %d, %v; want 5 (everything but the in-flight key)", removed, err)
 	}
 	if _, ok := s.Get("hot"); !ok {
 		t.Fatal("GC evicted a key with an active flight")
 	}
-	s.leaveFlight("hot", f)
+	s.flights.leave("hot", f)
 	if removed, err := s.GC(0); err != nil || removed != 1 {
 		t.Fatalf("GC after leaveFlight = %d, %v; want 1", removed, err)
 	}

@@ -1,0 +1,66 @@
+// Backend: the pluggable storage interface of the artifact subsystem.
+// The concrete disk Store was the whole story through PR 8; the serving
+// fleet needs the same contract over other media — an HTTP peer
+// (Remote), and a disk tier read-through over a peer (Tiered) — so the
+// contract is extracted here and every consumer (internal/serve,
+// internal/sweep, the cmd binaries) holds a Backend, not a *Store.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Backend is one artifact store: a content-keyed byte cache with
+// single-flight computation and bounded-footprint eviction.
+//
+// Semantics every implementation must honor:
+//
+//   - Get is strictly best-effort: absent, damaged or unreachable
+//     entries are misses, never errors.
+//   - GetOrCompute collapses concurrent calls for one key into a single
+//     compute invocation and re-checks the backend inside the flight,
+//     so one miss window costs at most one computation per process.
+//   - Put failures degrade (the computed payload is still usable); only
+//     compute errors propagate out of GetOrCompute.
+//   - GC(maxBytes) is advisory: a backend with no eviction of its own
+//     (e.g. Remote — the peer owns its eviction) returns (0, nil).
+type Backend interface {
+	// Get returns the payload stored under key, or ok=false on any miss.
+	Get(key string) ([]byte, bool)
+	// Put stores payload under key.
+	Put(key string, payload []byte) error
+	// GetOrCompute returns the cached payload for key, or runs compute,
+	// stores its result, and returns it. cached reports whether the
+	// payload came from the backend (for this caller).
+	GetOrCompute(key string, compute func() ([]byte, error)) (payload []byte, cached bool, err error)
+	// GC evicts records until the backend fits in maxBytes, returning
+	// the number of records removed.
+	GC(maxBytes int64) (int, error)
+	// Stats returns a snapshot of the activity counters.
+	Stats() Stats
+}
+
+// Lister is implemented by backends that can enumerate their key
+// inventory — the hook behind GET /keys and startup prewarming.
+type Lister interface {
+	Keys() ([]string, error)
+}
+
+// FlightChecker is implemented by backends that expose whether a key
+// has an in-progress single-flight computation. The HTTP server half
+// uses it to briefly hold a GET for a key a local flight is about to
+// finish, so a remote peer re-requesting a cooking key coalesces onto
+// the one computation instead of starting its own.
+type FlightChecker interface {
+	HasFlight(key string) bool
+}
+
+// KeyID is the public handle of a key: the sha-256 (hex) of its
+// canonical text — the same digest the disk store shards record paths
+// by, the daemon names plans with, and the HTTP transport addresses
+// artifacts by.
+func KeyID(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:])
+}

@@ -1,0 +1,316 @@
+// Backend conformance: one shared battery run against every backend —
+// disk, remote (httptest-backed), and tiered — so the Backend contract
+// (best-effort misses, single-flight dedup, GC safety under -race) is
+// pinned by construction, not per-implementation folklore.
+package artifact
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// backendHarness builds one backend flavor for the battery. dirs are
+// the on-disk record directories behind the backend (server-side for
+// remote; both tiers for tiered) — the corruption cases damage records
+// there directly.
+type backendHarness struct {
+	name string
+	open func(t *testing.T) (Backend, []string)
+}
+
+func quietWarn(s *Store) *Store {
+	s.Warnf = func(string, ...any) {}
+	return s
+}
+
+func harnesses() []backendHarness {
+	return []backendHarness{
+		{
+			name: "disk",
+			open: func(t *testing.T) (Backend, []string) {
+				s, err := Open(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return quietWarn(s), []string{s.Dir()}
+			},
+		},
+		{
+			name: "remote",
+			open: func(t *testing.T) (Backend, []string) {
+				upstream, err := Open(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				quietWarn(upstream)
+				ts := httptest.NewServer(Handler(upstream))
+				t.Cleanup(ts.Close)
+				return OpenRemote(ts.URL, RemoteOptions{}), []string{upstream.Dir()}
+			},
+		},
+		{
+			name: "tiered",
+			open: func(t *testing.T) (Backend, []string) {
+				upstream, err := Open(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				quietWarn(upstream)
+				ts := httptest.NewServer(Handler(upstream))
+				t.Cleanup(ts.Close)
+				local, err := Open(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr := NewTiered(quietWarn(local), OpenRemote(ts.URL, RemoteOptions{}))
+				tr.Warnf = func(string, ...any) {}
+				return tr, []string{local.Dir(), upstream.Dir()}
+			},
+		},
+	}
+}
+
+// corruptRecords damages every record file under the dirs with the
+// given mutation.
+func corruptRecords(t *testing.T, dirs []string, mutate func([]byte) []byte) int {
+	t.Helper()
+	n := 0
+	for _, dir := range dirs {
+		filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return err
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, mutate(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			n++
+			return nil
+		})
+	}
+	return n
+}
+
+func TestBackendConformance(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			t.Run("roundtrip", func(t *testing.T) {
+				b, _ := h.open(t)
+				key := KeyOf("kind=conf", "m=64")
+				if _, ok := b.Get(key); ok {
+					t.Fatal("Get on empty backend hit")
+				}
+				payload := []byte(`{"mincost":584}`)
+				if err := b.Put(key, payload); err != nil {
+					t.Fatal(err)
+				}
+				got, ok := b.Get(key)
+				if !ok || !bytes.Equal(got, payload) {
+					t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+				}
+				st := b.Stats()
+				if st.Hits != 1 || st.Misses != 1 || st.Puts < 1 {
+					t.Fatalf("stats = %+v", st)
+				}
+			})
+
+			t.Run("corruption-is-a-miss", func(t *testing.T) {
+				for _, tc := range []struct {
+					name    string
+					corrupt func([]byte) []byte
+				}{
+					{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+					{"bitflip", func(b []byte) []byte {
+						c := append([]byte(nil), b...)
+						c[len(c)-1] ^= 0x40
+						return c
+					}},
+				} {
+					tc := tc
+					t.Run(tc.name, func(t *testing.T) {
+						b, dirs := h.open(t)
+						key := "conf-corrupt-" + tc.name
+						if err := b.Put(key, []byte(`{"payload":"0123456789abcdef"}`)); err != nil {
+							t.Fatal(err)
+						}
+						if n := corruptRecords(t, dirs, tc.corrupt); n == 0 {
+							t.Fatal("no records found to corrupt")
+						}
+						if got, ok := b.Get(key); ok {
+							t.Fatalf("corrupt entry read as hit: %q", got)
+						}
+						// The slot recovers: GetOrCompute recomputes and the
+						// fresh record serves.
+						p, cached, err := b.GetOrCompute(key, func() ([]byte, error) {
+							return []byte("fresh"), nil
+						})
+						if err != nil || cached || string(p) != "fresh" {
+							t.Fatalf("recompute = %q, cached=%v, err=%v", p, cached, err)
+						}
+						if got, ok := b.Get(key); !ok || string(got) != "fresh" {
+							t.Fatalf("after recompute Get = %q, %v", got, ok)
+						}
+					})
+				}
+			})
+
+			t.Run("singleflight-dedup", func(t *testing.T) {
+				b, _ := h.open(t)
+				var computes atomic.Int64
+				const workers = 16
+				var wg sync.WaitGroup
+				start := make(chan struct{})
+				results := make([][]byte, workers)
+				for w := 0; w < workers; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						<-start
+						p, _, err := b.GetOrCompute("conf-shared", func() ([]byte, error) {
+							computes.Add(1)
+							return []byte("computed-once"), nil
+						})
+						if err != nil {
+							t.Error(err)
+						}
+						results[w] = p
+					}()
+				}
+				close(start)
+				wg.Wait()
+				if got := computes.Load(); got != 1 {
+					t.Fatalf("compute ran %d times, want 1", got)
+				}
+				for w, p := range results {
+					if string(p) != "computed-once" {
+						t.Fatalf("worker %d got %q", w, p)
+					}
+				}
+				// A later call is a plain hit.
+				p, cached, err := b.GetOrCompute("conf-shared", func() ([]byte, error) {
+					t.Error("compute ran on a warm key")
+					return nil, nil
+				})
+				if err != nil || !cached || string(p) != "computed-once" {
+					t.Fatalf("warm GetOrCompute = %q, cached=%v, err=%v", p, cached, err)
+				}
+			})
+
+			t.Run("compute-error-not-cached", func(t *testing.T) {
+				b, _ := h.open(t)
+				var calls atomic.Int64
+				_, _, err := b.GetOrCompute("conf-err", func() ([]byte, error) {
+					calls.Add(1)
+					return nil, fmt.Errorf("boom")
+				})
+				if err == nil {
+					t.Fatal("compute error swallowed")
+				}
+				p, cached, err := b.GetOrCompute("conf-err", func() ([]byte, error) {
+					calls.Add(1)
+					return []byte("recovered"), nil
+				})
+				if err != nil || cached || string(p) != "recovered" {
+					t.Fatalf("retry = %q, cached=%v, err=%v", p, cached, err)
+				}
+				if calls.Load() != 2 {
+					t.Fatalf("calls = %d, want 2", calls.Load())
+				}
+			})
+
+			// GC racing GetOrCompute traffic (run under -race): every
+			// caller observes its correct payload, no errors, no matter
+			// how aggressively the backend evicts behind it.
+			t.Run("gc-vs-getorcompute", func(t *testing.T) {
+				b, _ := h.open(t)
+				const workers, rounds, keys = 4, 30, 8
+				stop := make(chan struct{})
+				var gcs sync.WaitGroup
+				gcs.Add(1)
+				go func() {
+					defer gcs.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if _, err := b.GC(2 * 1200); err != nil {
+							t.Errorf("gc: %v", err)
+							return
+						}
+					}
+				}()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for r := 0; r < rounds; r++ {
+							k := fmt.Sprintf("conf-gc-%d", (w+r)%keys)
+							want := "payload:" + k
+							p, _, err := b.GetOrCompute(k, func() ([]byte, error) {
+								return append(bytes.Repeat([]byte("x"), 1024), []byte(want)...), nil
+							})
+							if err != nil {
+								t.Errorf("GetOrCompute(%s): %v", k, err)
+								return
+							}
+							if !bytes.HasSuffix(p, []byte(want)) {
+								t.Errorf("GetOrCompute(%s) = wrong payload", k)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				close(stop)
+				gcs.Wait()
+			})
+		})
+	}
+}
+
+// The inventory round-trips through every Lister backend.
+func TestKeysInventory(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			b, _ := h.open(t)
+			l, ok := b.(Lister)
+			if !ok {
+				t.Fatalf("%s backend does not implement Lister", h.name)
+			}
+			want := []string{"inv-a", "inv-b;m=64", "inv-c"}
+			for _, k := range want {
+				if err := b.Put(k, []byte("p:"+k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			keys, err := l.Keys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != len(want) {
+				t.Fatalf("Keys = %v, want %v", keys, want)
+			}
+			for i := range want {
+				if keys[i] != want[i] {
+					t.Fatalf("Keys[%d] = %q, want %q (sorted)", i, keys[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -1,8 +1,10 @@
 // In-process single flight: concurrent GetOrCompute calls for one key
 // share one computation. Unlike x/sync/singleflight this is fused with
-// the store's Get/Put (the winning flight re-checks the disk before
-// computing), so a process racing against itself or a concurrent
-// process never computes a key more than once per miss window.
+// each backend's Get/Put (the winning flight re-checks the backend
+// before computing), so a process racing against itself or a concurrent
+// process never computes a key more than once per miss window. The
+// group is shared by every backend — disk, remote and tiered — so the
+// tiered backend can fuse one flight across both of its tiers.
 package artifact
 
 import "sync"
@@ -17,27 +19,62 @@ type flight struct {
 	refs    int
 }
 
-// joinFlight returns the active flight for key, creating it if absent,
-// and registers the caller as a waiter.
-func (s *Store) joinFlight(key string) *flight {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	f, ok := s.flights[key]
+// flightGroup tracks the active flights of one backend.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// join returns the active flight for key, creating it if absent, and
+// registers the caller as a waiter.
+func (g *flightGroup) join(key string) *flight {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	f, ok := g.m[key]
 	if !ok {
 		f = &flight{}
-		s.flights[key] = f
+		g.m[key] = f
 	}
 	f.refs++
 	return f
 }
 
-// leaveFlight drops the caller's reference; the last waiter out removes
-// the flight so a later miss starts a fresh computation.
-func (s *Store) leaveFlight(key string, f *flight) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// leave drops the caller's reference; the last waiter out removes the
+// flight so a later miss starts a fresh computation.
+func (g *flightGroup) leave(key string, f *flight) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	f.refs--
-	if f.refs == 0 && s.flights[key] == f {
-		delete(s.flights, key)
+	if f.refs == 0 && g.m[key] == f {
+		delete(g.m, key)
 	}
+}
+
+// active returns the number of in-progress flights — a gauge.
+func (g *flightGroup) active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
+
+// has reports whether key currently has an in-progress flight.
+func (g *flightGroup) has(key string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.m[key]
+	return ok
+}
+
+// keys snapshots the keys of all active flights.
+func (g *flightGroup) keys() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.m))
+	for k := range g.m {
+		out = append(out, k)
+	}
+	return out
 }

@@ -46,6 +46,15 @@ type EventMachine struct {
 	// O(N) pairs, not O(N^2).
 	queues map[int64]*pairQueue
 	ready  procHeap
+	// direct is the fast path for the dominant scheduling pattern —
+	// exactly one processor runnable (ping-pong pipelines, serial
+	// chains): the sole runnable processor is held here instead of the
+	// heap and resumed without a push/pop round trip. The invariant is
+	// direct != nil => ready is empty; the moment a second processor
+	// becomes runnable, direct migrates into the heap and ordinary
+	// (clock, rank) ordering resumes.
+	direct         *EventProc
+	directHandoffs int64
 	// yield is the coroutine handoff: the running processor signals the
 	// scheduler here when it parks, finishes, or unwinds.
 	yield chan yieldSignal
@@ -107,6 +116,14 @@ func (h *procHeap) Push(x any)        { *h = append(*h, x.(*EventProc)) }
 func (h *procHeap) Pop() any          { old := *h; n := len(old); p := old[n-1]; old[n-1] = nil; *h = old[:n-1]; return p }
 func (m *EventMachine) wake(p *EventProc, key float64) {
 	p.key = key
+	if m.direct == nil && m.ready.Len() == 0 {
+		m.direct = p
+		return
+	}
+	if d := m.direct; d != nil {
+		m.direct = nil
+		heap.Push(&m.ready, d)
+	}
 	heap.Push(&m.ready, p)
 }
 
@@ -308,6 +325,25 @@ func (p *EventProc) Note(kind EventKind, start, end float64, peer, words int) {
 	}
 }
 
+// resumeOne hands the coroutine to p and blocks until it yields,
+// reporting whether it finished.
+func (m *EventMachine) resumeOne(p *EventProc) (done bool) {
+	p.resume <- struct{}{}
+	sig := <-m.yield
+	if sig.done && m.abortFlag {
+		// Unwind parked processors so their goroutines exit; any
+		// still-runnable processor keeps running and fails when it
+		// next needs a message, mirroring the dead-channel abort.
+		m.wakeWaiters()
+	}
+	return sig.done
+}
+
+// DirectHandoffs reports how many scheduler steps took the
+// single-runnable fast path instead of the heap. Meaningful after Run;
+// purely observability.
+func (m *EventMachine) DirectHandoffs() int64 { return m.directHandoffs }
+
 // Run executes the SPMD body on all processors under the event
 // scheduler and returns aggregate statistics, with the same error
 // discipline as Machine.Run: the lowest-ranked root-cause error wins,
@@ -346,7 +382,7 @@ func (m *EventMachine) Run(body func(p *EventProc)) (Stats, error) {
 	live := n
 	var batch []*EventProc
 	for live > 0 {
-		if m.ready.Len() == 0 {
+		if m.ready.Len() == 0 && m.direct == nil {
 			// Every live processor is parked in Recv and no message can
 			// ever arrive: the schedule deadlocked. The goroutine runtime
 			// would hang here; the event scheduler can see the whole
@@ -357,6 +393,19 @@ func (m *EventMachine) Run(body func(p *EventProc)) (Stats, error) {
 			m.abortFlag = true
 			m.deadlocked = true
 			m.wakeWaiters()
+		}
+		// One runnable processor: hand it the coroutine directly, no
+		// heap traffic at all. This is every strictly-serial stretch of
+		// a schedule — pipelined wavefronts, ping-pong exchanges — where
+		// the heap would otherwise be a push immediately followed by a
+		// pop of the same element.
+		if p := m.direct; p != nil {
+			m.direct = nil
+			m.directHandoffs++
+			if m.resumeOne(p) {
+				live--
+			}
+			continue
 		}
 		// Drain every entry sharing the front's resume clock in one
 		// batch — the heap's rank tie-break hands them out in ascending
@@ -374,16 +423,8 @@ func (m *EventMachine) Run(body func(p *EventProc)) (Stats, error) {
 			batch = append(batch, heap.Pop(&m.ready).(*EventProc))
 		}
 		for _, p := range batch {
-			p.resume <- struct{}{}
-			sig := <-m.yield
-			if sig.done {
+			if m.resumeOne(p) {
 				live--
-				if m.abortFlag {
-					// Unwind parked processors so their goroutines exit; any
-					// still-runnable processor keeps running and fails when it
-					// next needs a message, mirroring the dead-channel abort.
-					m.wakeWaiters()
-				}
 			}
 		}
 	}

@@ -318,3 +318,57 @@ func TestPairTally(t *testing.T) {
 		t.Fatalf("AddProc aggregate wrong: %+v", st)
 	}
 }
+
+// TestEventDirectHandoff: a strictly-serial ping-pong — at any moment
+// exactly one processor is runnable — takes the scheduler's direct
+// handoff path (no heap traffic) while producing stats bit-identical
+// to the goroutine runtime.
+func TestEventDirectHandoff(t *testing.T) {
+	const rounds = 20
+	body := func(p Port) {
+		peer := 1 - p.Rank()
+		for r := 0; r < rounds; r++ {
+			if p.Rank() == 0 {
+				p.Send(peer, []Word{float64(r)})
+				p.Recv(peer)
+			} else {
+				got := p.Recv(peer)
+				if int(got[0]) != r {
+					panic("wrong ping payload")
+				}
+				p.Send(peer, []Word{float64(-r)})
+			}
+		}
+	}
+	g := grid.New(2)
+	runBothRuntimes(t, g, DefaultConfig(), body)
+
+	m := mustNewEvent(t, g, DefaultConfig())
+	if _, err := m.Run(func(p *EventProc) { body(p) }); err != nil {
+		t.Fatalf("event run: %v", err)
+	}
+	// Every mid-run resume after the initial 2-proc wave is a lone
+	// runnable processor: the fast path must carry the bulk of the
+	// schedule, not a stray step or two.
+	if h := m.DirectHandoffs(); h < rounds {
+		t.Fatalf("DirectHandoffs = %d, want >= %d for a serial ping-pong", h, rounds)
+	}
+}
+
+// TestEventDirectHandoffDeadlock: the deadlock detector still fires
+// when the machine drains through the direct slot.
+func TestEventDirectHandoffDeadlock(t *testing.T) {
+	m := mustNewEvent(t, grid.New(2), DefaultConfig())
+	_, err := m.Run(func(p *EventProc) {
+		if p.Rank() == 0 {
+			p.Send(1, []Word{1})
+		}
+		p.Recv(1 - p.Rank()) // rank 1 waits forever: rank 0 never sends again
+		if p.Rank() == 0 {
+			p.Recv(1)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}

@@ -72,12 +72,24 @@ type LoadSummary struct {
 	P50, P99, Max   time.Duration
 	Elapsed         time.Duration
 	RPS             float64
+	// Extra carries additional deterministic metrics into the sweep row
+	// (the remote-warm arm's fleet counters); nil for the plain arms.
+	Extra map[string]float64
 }
 
 func (s *LoadSummary) String() string {
-	return fmt.Sprintf("%s: %d reqs over %d keys in %v (%.0f req/s), p50=%v p99=%v max=%v, errors=%d, misses_after_warm=%d",
+	out := fmt.Sprintf("%s: %d reqs over %d keys in %v (%.0f req/s), p50=%v p99=%v max=%v, errors=%d, misses_after_warm=%d",
 		s.Dist, s.Requests, s.Keys, s.Elapsed.Round(time.Millisecond), s.RPS,
 		s.P50, s.P99, s.Max, s.Errors, s.MissesAfterWarm)
+	extras := make([]string, 0, len(s.Extra))
+	for k := range s.Extra {
+		extras = append(extras, k)
+	}
+	sort.Strings(extras)
+	for _, k := range extras {
+		out += fmt.Sprintf(", %s=%g", k, s.Extra[k])
+	}
+	return out
 }
 
 // warmup registers every (prog, M, N) plan and returns the plan ids in
@@ -260,7 +272,7 @@ func Harness(cfg LoadConfig, dists []string) (*sweep.Result, []*LoadSummary, err
 // and throughput columns carry _ns / _wall names so the gate's
 // machine-dependence filter (see sweep.Compare) skips them.
 func Row(sum *LoadSummary, cfg LoadConfig) sweep.Row {
-	return sweep.Row{
+	row := sweep.Row{
 		Variant: sum.Dist, M: cfg.M, N: cfg.N, S: sum.Keys,
 		Metrics: map[string]float64{
 			"requests":          float64(sum.Requests),
@@ -272,4 +284,8 @@ func Row(sum *LoadSummary, cfg LoadConfig) sweep.Row {
 			"rps_wall":          sum.RPS,
 		},
 	}
+	for k, v := range sum.Extra {
+		row.Metrics[k] = v
+	}
+	return row
 }

@@ -99,14 +99,21 @@ func (e *endpoint) snapshot() EndpointSnapshot {
 }
 
 // StoreSnapshot is the artifact store's slice of the /metrics document:
-// its cumulative Stats plus the in-flight single-flight gauge.
+// its cumulative Stats plus the in-flight single-flight gauge. The
+// per-tier fields are zero for a plain disk store and split the traffic
+// of a tiered backend: LocalHits+RemoteHits == Hits, RemoteErrors
+// counts degraded peer calls, PrewarmedKeys counts startup pulls.
 type StoreSnapshot struct {
-	Hits       int64 `json:"hits"`
-	Misses     int64 `json:"misses"`
-	Puts       int64 `json:"puts"`
-	TouchFails int64 `json:"touch_fails"`
-	Evictions  int64 `json:"evictions"`
-	InFlight   int   `json:"in_flight"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Puts          int64 `json:"puts"`
+	TouchFails    int64 `json:"touch_fails"`
+	Evictions     int64 `json:"evictions"`
+	InFlight      int   `json:"in_flight"`
+	LocalHits     int64 `json:"local_hits"`
+	RemoteHits    int64 `json:"remote_hits"`
+	RemoteErrors  int64 `json:"remote_errors"`
+	PrewarmedKeys int64 `json:"prewarmed_keys"`
 }
 
 // ServerSnapshot is the serving-layer slice of the /metrics document.
@@ -120,6 +127,9 @@ type ServerSnapshot struct {
 	PlanThaws   int64 `json:"plan_thaws"`
 	CostEvals   int64 `json:"cost_evals"`
 	PlansLive   int   `json:"plans_live"`
+	// PrewarmedPlans counts evaluators registered from a peer's frozen
+	// plans at startup — live before the first request ever arrives.
+	PrewarmedPlans int64 `json:"prewarmed_plans"`
 }
 
 // MetricsSnapshot is the GET /metrics document.

@@ -23,8 +23,6 @@ package serve
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -53,8 +51,9 @@ const (
 
 // Config configures a Server.
 type Config struct {
-	// Store is the artifact cache the daemon serves from. Required.
-	Store *artifact.Store
+	// Store is the artifact backend the daemon serves from — a plain
+	// disk store, or a tiered store over a peer daemon. Required.
+	Store artifact.Backend
 	// Jobs is the within-compile worker count (Compiler.Jobs).
 	Jobs int
 	// CompileTimeout bounds one POST /compile request. The underlying
@@ -84,9 +83,9 @@ type planEntry struct {
 type Server struct {
 	cfg Config
 
-	compiles, compileHits, planThaws, costEvals atomic.Int64
+	compiles, compileHits, planThaws, costEvals, prewarmedPlans atomic.Int64
 
-	epCompile, epPlan, epCost endpoint
+	epCompile, epPlan, epCost, epArtifact endpoint
 
 	mu    sync.Mutex
 	plans map[string]*planEntry // plan id -> entry
@@ -108,19 +107,27 @@ func (s *Server) warnf(format string, args ...any) {
 
 // PlanID is the public handle of a plan: the sha-256 (hex) of its
 // artifact-store key text — the same digest the store shards record
-// paths by.
-func PlanID(key string) string {
-	h := sha256.Sum256([]byte(key))
-	return hex.EncodeToString(h[:])
-}
+// paths by and the /artifact routes address records with.
+func PlanID(key string) string { return artifact.KeyID(key) }
 
-// Handler returns the daemon's routing table.
+// Handler returns the daemon's routing table. The /artifact and /keys
+// routes expose the backend itself, so any daemon can be another
+// daemon's remote store.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.instrument(&s.epCompile, s.handleCompile))
 	mux.HandleFunc("POST /plan", s.instrument(&s.epPlan, s.handleInstall))
 	mux.HandleFunc("GET /plan/{id}", s.instrument(&s.epPlan, s.handlePlan))
 	mux.HandleFunc("GET /cost", s.instrument(&s.epCost, s.handleCost))
+	mux.HandleFunc("GET /artifact/{id}", s.instrument(&s.epArtifact, func(w http.ResponseWriter, r *http.Request) {
+		artifact.ServeGet(s.cfg.Store, w, r)
+	}))
+	mux.HandleFunc("PUT /artifact/{id}", s.instrument(&s.epArtifact, func(w http.ResponseWriter, r *http.Request) {
+		artifact.ServePut(s.cfg.Store, w, r)
+	}))
+	mux.HandleFunc("GET /keys", s.instrument(&s.epArtifact, func(w http.ResponseWriter, r *http.Request) {
+		artifact.ServeKeys(s.cfg.Store, w, r)
+	}))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -510,6 +517,10 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 // Metrics returns the current snapshot (also served as GET /metrics).
 func (s *Server) Metrics() MetricsSnapshot {
 	st := s.cfg.Store.Stats()
+	inFlight := 0
+	if g, ok := s.cfg.Store.(interface{ InFlight() int }); ok {
+		inFlight = g.InFlight()
+	}
 	s.mu.Lock()
 	live := len(s.plans)
 	s.mu.Unlock()
@@ -517,19 +528,25 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Store: StoreSnapshot{
 			Hits: st.Hits, Misses: st.Misses, Puts: st.Puts,
 			TouchFails: st.TouchFails, Evictions: st.Evictions,
-			InFlight: s.cfg.Store.InFlight(),
+			InFlight:      inFlight,
+			LocalHits:     st.LocalHits,
+			RemoteHits:    st.RemoteHits,
+			RemoteErrors:  st.RemoteErrors,
+			PrewarmedKeys: st.Prewarmed,
 		},
 		Server: ServerSnapshot{
-			Compiles:    s.compiles.Load(),
-			CompileHits: s.compileHits.Load(),
-			PlanThaws:   s.planThaws.Load(),
-			CostEvals:   s.costEvals.Load(),
-			PlansLive:   live,
+			Compiles:       s.compiles.Load(),
+			CompileHits:    s.compileHits.Load(),
+			PlanThaws:      s.planThaws.Load(),
+			CostEvals:      s.costEvals.Load(),
+			PlansLive:      live,
+			PrewarmedPlans: s.prewarmedPlans.Load(),
 		},
 		Endpoints: map[string]EndpointSnapshot{
-			"compile": s.epCompile.snapshot(),
-			"plan":    s.epPlan.snapshot(),
-			"cost":    s.epCost.snapshot(),
+			"compile":  s.epCompile.snapshot(),
+			"plan":     s.epPlan.snapshot(),
+			"cost":     s.epCost.snapshot(),
+			"artifact": s.epArtifact.snapshot(),
 		},
 	}
 }

@@ -1,0 +1,57 @@
+// Shard merging: reassembling one canonical sweep result from the JSON
+// outputs of sharded runs (Options.Shard/ShardCount). Shards partition
+// the canonical point order, so the merge is a disjoint union — any
+// duplicate row identity means the inputs were not shards of one sweep
+// and is an error, not a silent overwrite. The merged result re-sorts
+// into canonical order and therefore emits JSON byte-identical to the
+// unsharded run (JSON carries only deterministic metrics; wall-clock
+// columns and CSV comments die with the shard that produced them).
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// MergeFiles reads sharded -json outputs and reassembles the full
+// sweep. All inputs must be the same sweep kind.
+func MergeFiles(paths []string) (*Result, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("merge: no input files")
+	}
+	res := &Result{}
+	type ident struct {
+		variant string
+		m, n, s int
+	}
+	seen := map[ident]string{} // row identity -> source path
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("merge: %w", err)
+		}
+		var doc JSONOutput
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, fmt.Errorf("merge: %s: %w", path, err)
+		}
+		if res.Kind == "" {
+			res.Kind = doc.Sweep
+		} else if doc.Sweep != res.Kind {
+			return nil, fmt.Errorf("merge: %s is a %q sweep, want %q", path, doc.Sweep, res.Kind)
+		}
+		for _, row := range doc.Rows {
+			id := ident{row.Variant, row.M, row.N, row.S}
+			if prev, dup := seen[id]; dup {
+				return nil, fmt.Errorf("merge: row %s m=%d n=%d s=%d appears in both %s and %s (inputs are not disjoint shards)",
+					row.Variant, row.M, row.N, row.S, prev, path)
+			}
+			seen[id] = path
+			res.Rows = append(res.Rows, Row{
+				Variant: row.Variant, M: row.M, N: row.N, S: row.S, Metrics: row.Metrics,
+			})
+		}
+	}
+	SortRows(res.Rows)
+	return res, nil
+}

@@ -53,8 +53,9 @@ type Result struct {
 
 // Options configures a sweep run.
 type Options struct {
-	// Cache, when non-nil, memoizes every point's metrics on disk.
-	Cache *artifact.Store
+	// Cache, when non-nil, memoizes every point's metrics — on disk, or
+	// through a tiered backend that also consults a peer daemon's store.
+	Cache artifact.Backend
 	// Jobs is the within-compile worker count (Compiler.Jobs).
 	Jobs int
 	// Workers is the point-level parallelism (1 = serial).
@@ -73,6 +74,12 @@ type Options struct {
 	// the artifact store; the p2p key matches the pre-collective one,
 	// whose cached transport numbers it reproduces.
 	Redist exec.Redist
+	// Shard/ShardCount split a sweep across processes: with ShardCount >
+	// 1, only points whose index in the canonical (variant, m, n, s)
+	// order satisfies i % ShardCount == Shard are run. Shards are
+	// disjoint and cover the sweep, so merging their outputs (see
+	// MergeFiles) reproduces the unsharded result byte-for-byte.
+	Shard, ShardCount int
 }
 
 func (o Options) warnf(format string, args ...any) {
@@ -99,6 +106,7 @@ type point struct {
 // consulting the cache when attached, and returns rows sorted by
 // (variant, m, n, s).
 func runPoints(pts []point, opt Options) ([]Row, error) {
+	pts = shardPoints(pts, opt)
 	rows := make([]Row, len(pts))
 	errs := make([]error, len(pts))
 	workers := opt.Workers
@@ -132,6 +140,37 @@ func runPoints(pts []point, opt Options) ([]Row, error) {
 	}
 	SortRows(rows)
 	return rows, nil
+}
+
+// shardPoints returns this process's share of the points. Assignment is
+// by index in the canonical (variant, m, n, s) order — not generation
+// order — so every shard of a sweep agrees on the split no matter how
+// the point list was built.
+func shardPoints(pts []point, opt Options) []point {
+	if opt.ShardCount <= 1 {
+		return pts
+	}
+	sorted := append([]point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.variant != b.variant {
+			return a.variant < b.variant
+		}
+		if a.m != b.m {
+			return a.m < b.m
+		}
+		if a.n != b.n {
+			return a.n < b.n
+		}
+		return a.s < b.s
+	})
+	var mine []point
+	for i, pt := range sorted {
+		if i%opt.ShardCount == opt.Shard {
+			mine = append(mine, pt)
+		}
+	}
+	return mine
 }
 
 func runPoint(pt point, opt Options) (Row, error) {
@@ -389,10 +428,26 @@ func symbolicBaseM(n int) int {
 // never cached.
 func Symbolic(mList, nList []int, opt Options) (*Result, error) {
 	res := &Result{Kind: "symbolic"}
-	progs := []func() *ir.Program{ir.Jacobi, ir.SOR}
-	for _, mk := range progs {
+	// The unit of symbolic work is one (program, N) compile+fit, so
+	// sharding splits that list: per-m evaluations are microseconds and
+	// ride with their plan.
+	type unit struct {
+		mk func() *ir.Program
+		n  int
+	}
+	var units []unit
+	for _, mk := range []func() *ir.Program{ir.Jacobi, ir.SOR} {
 		for _, n := range nList {
-			p := mk()
+			units = append(units, unit{mk, n})
+		}
+	}
+	for i, u := range units {
+		if opt.ShardCount > 1 && i%opt.ShardCount != opt.Shard {
+			continue
+		}
+		{
+			n := u.n
+			p := u.mk()
 			baseM := symbolicBaseM(n)
 			c := core.NewCompiler(p, cost.Unit(), map[string]int{"m": baseM}, n)
 			c.Jobs = opt.Jobs

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -258,4 +259,171 @@ func TestCompareRejectsUnknownShape(t *testing.T) {
 	if _, _, err := Compare(path, res, 0); err == nil {
 		t.Fatal("unknown baseline shape should be an error")
 	}
+}
+
+// Sharded sweeps partition the canonical point order; merging the
+// shards' JSON outputs reproduces the unsharded document byte for byte.
+func TestShardedCompileSweepMergesIdentical(t *testing.T) {
+	mList, nList, sList := []int{16, 32}, []int{4}, []int{4}
+	full, err := Compile(mList, nList, sList, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var paths []string
+	total := 0
+	for k := 0; k < 2; k++ {
+		part, err := Compile(mList, nList, sList, Options{Shard: k, ShardCount: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part.Rows) == 0 || len(part.Rows) >= len(full.Rows) {
+			t.Fatalf("shard %d has %d of %d rows — not a proper split", k, len(part.Rows), len(full.Rows))
+		}
+		total += len(part.Rows)
+		pj, err := part.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "shard"+string(rune('0'+k))+".json")
+		if err := os.WriteFile(path, pj, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	if total != len(full.Rows) {
+		t.Fatalf("shards cover %d rows, full sweep has %d", total, len(full.Rows))
+	}
+	merged, err := MergeFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, _ := full.JSON()
+	mj, _ := merged.JSON()
+	if !bytes.Equal(fj, mj) {
+		t.Errorf("merged shards differ from unsharded sweep:\n%s\n---\n%s", fj, mj)
+	}
+}
+
+// Symbolic sweeps shard over (program, N) units and merge identically.
+func TestShardedSymbolicSweepMergesIdentical(t *testing.T) {
+	mList, nList := []int{16, 32}, []int{4}
+	full, err := Symbolic(mList, nList, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var paths []string
+	for k := 0; k < 2; k++ {
+		part, err := Symbolic(mList, nList, Options{Shard: k, ShardCount: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part.Rows) == 0 {
+			t.Fatalf("shard %d is empty", k)
+		}
+		pj, err := part.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "sym"+string(rune('0'+k))+".json")
+		if err := os.WriteFile(path, pj, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	merged, err := MergeFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, _ := full.JSON()
+	mj, _ := merged.JSON()
+	if !bytes.Equal(fj, mj) {
+		t.Errorf("merged symbolic shards differ from unsharded sweep:\n%s\n---\n%s", fj, mj)
+	}
+}
+
+// Overlapping inputs are not shards of one sweep: the merge refuses
+// them instead of silently overwriting rows.
+func TestMergeRejectsDuplicateRows(t *testing.T) {
+	res, err := Compile([]int{16}, []int{4}, []int{4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, _ := res.JSON()
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, rj, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := MergeFiles([]string{a, b}); err == nil {
+		t.Fatal("duplicate rows should fail the merge")
+	}
+}
+
+// MergeFiles refuses mixed sweep kinds and empty input lists.
+func TestMergeRejectsMixedKinds(t *testing.T) {
+	if _, err := MergeFiles(nil); err == nil {
+		t.Fatal("empty merge should fail")
+	}
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(a, []byte(`{"sweep":"compile","rows":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(`{"sweep":"exec","rows":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeFiles([]string{a, b}); err == nil {
+		t.Fatal("mixed-kind merge should fail")
+	}
+}
+
+// A sweep through a tiered cache over a peer daemon's store behaves
+// like a local cache: the second shard worker hits what the first
+// computed, through the peer.
+func TestSweepThroughTieredCache(t *testing.T) {
+	upstream := openStore(t)
+	ts := httptest.NewServer(artifact.Handler(upstream))
+	defer ts.Close()
+
+	mList, nList, sList := []int{16}, []int{4}, []int{4}
+	// Worker A: cold, writes through to the peer.
+	a := NewTieredCache(t, ts.URL)
+	cold, err := Compile(mList, nList, sList, Options{Cache: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upstream.Stats().Puts == 0 {
+		t.Fatal("worker A never wrote through to the peer store")
+	}
+	// Worker B: separate local dir, warm entirely from the peer.
+	b := NewTieredCache(t, ts.URL)
+	warm, err := Compile(mList, nList, sList, Options{Cache: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.RemoteHits == 0 || st.Misses != 0 {
+		t.Fatalf("worker B should warm from the peer: %s", st)
+	}
+	cj, _ := cold.JSON()
+	wj, _ := warm.JSON()
+	if !bytes.Equal(cj, wj) {
+		t.Errorf("peer-warmed sweep differs from cold sweep:\n%s\n---\n%s", cj, wj)
+	}
+}
+
+// NewTieredCache builds a tiered backend over a fresh local dir and the
+// given peer URL (test helper).
+func NewTieredCache(t *testing.T, peer string) *artifact.Tiered {
+	t.Helper()
+	local := openStore(t)
+	tr := artifact.NewTiered(local, artifact.OpenRemote(peer, artifact.RemoteOptions{}))
+	tr.Warnf = t.Logf
+	return tr
 }
