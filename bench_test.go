@@ -837,6 +837,64 @@ func BenchmarkCompileScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkSymbolicEvaluator measures the closed-form compile: planfit
+// is the one-time cost of compiling a program and fitting every cost
+// term — nest counts, loop-carried words and scheme-change loads — as
+// piecewise polynomials in m; evalat is the per-point cost of pricing
+// the fitted plan at a fresh size, which must stay in the microsecond
+// range (O(degree) arithmetic, no counting, no redistribution
+// enumeration). BENCH_compile.json's symbolic entries record both.
+func BenchmarkSymbolicEvaluator(b *testing.B) {
+	// Base size in the asymptotic regime (sweep.symbolicBaseM: n² for
+	// n=16) — below it the last processor's block is empty and counts
+	// are not yet piecewise polynomial.
+	const baseM, n = 256, 16
+	progs := []struct {
+		name string
+		prog func() *ir.Program
+	}{
+		{"gauss", ir.Gauss},
+		{"jacobi", ir.Jacobi},
+		{"sor", ir.SOR},
+	}
+	for _, pc := range progs {
+		pc := pc
+		b.Run("planfit/"+pc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := core.NewCompiler(pc.prog(), cost.Unit(), map[string]int{"m": baseM}, n)
+				pe, err := core.NewPlanEvaluator(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := pe.Fit(baseM, 3, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("evalat/"+pc.name, func(b *testing.B) {
+			c := core.NewCompiler(pc.prog(), cost.Unit(), map[string]int{"m": baseM}, n)
+			pe, err := core.NewPlanEvaluator(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := pe.Fit(baseM, 3, 2); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var total float64
+			for i := 0; i < b.N; i++ {
+				// Vary m so no per-size memo could hide behind the number.
+				pct, err := pe.EvalAt(baseM + i%1024)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += pct.Total()
+			}
+			_ = total
+		})
+	}
+}
+
 // ------------------------------------------------------- artifact cache --
 
 // BenchmarkSweepCached measures the artifact cache behind dmsweep

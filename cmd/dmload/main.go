@@ -48,7 +48,7 @@ import (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8077", "daemon base URL")
 	self := flag.Bool("self", false, "load an in-process daemon over a temp cache (hermetic)")
-	dists := flag.String("dist", "hotkey,uniform", "comma-separated request distributions (hotkey, uniform)")
+	dists := flag.String("dist", "hotkey,uniform", "comma-separated request distributions (hotkey, uniform, coldm)")
 	progs := flag.String("progs", "jacobi,sor,gauss", "comma-separated builtin programs to warm")
 	m := flag.Int("m", 64, "base problem size each plan is compiled at")
 	n := flag.Int("n", 8, "processor count each plan is compiled at")
@@ -73,7 +73,7 @@ func main() {
 	stdDists := distList[:0:0]
 	for _, d := range distList {
 		switch d {
-		case "hotkey", "uniform":
+		case "hotkey", "uniform", "coldm":
 			stdDists = append(stdDists, d)
 		case "remote-warm":
 			if !*self {
@@ -81,7 +81,7 @@ func main() {
 			}
 			remoteWarm = true
 		default:
-			cli.Usage("dmload", fmt.Errorf("unknown distribution %q (want hotkey, uniform or remote-warm)", d))
+			cli.Usage("dmload", fmt.Errorf("unknown distribution %q (want hotkey, uniform, coldm or remote-warm)", d))
 		}
 	}
 

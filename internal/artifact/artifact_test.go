@@ -79,7 +79,8 @@ func TestCorruptEntriesAreMisses(t *testing.T) {
 		{"empty", func(b []byte) []byte { return nil }},
 		{"noheader", func(b []byte) []byte { return []byte("not json at all") }},
 		{"staleschema", func(b []byte) []byte {
-			return bytes.Replace(b, []byte(`{"schema":1`), []byte(`{"schema":0`), 1)
+			cur := []byte(fmt.Sprintf(`{"schema":%d`, SchemaVersion))
+			return bytes.Replace(b, cur, []byte(`{"schema":0`), 1)
 		}},
 	}
 	for _, tc := range cases {

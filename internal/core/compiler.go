@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dmcc/internal/align"
 	"dmcc/internal/cost"
@@ -79,12 +80,44 @@ type Compiler struct {
 	// PipelinedReductions does for SegmentCost.
 	CollectiveRedist bool
 
+	// Engines counts which counting engine answered each nest-pricing
+	// call, so fast-path regressions (an eligible nest silently falling
+	// back to the walker) are observable. Safe for concurrent use; the
+	// pointer is shared when an evaluator clones the compiler.
+	Engines *EngineStats
+
 	mu       sync.Mutex
 	poolOnce sync.Once
 	sem      chan struct{}
 	segCache map[[2]int]*segEntry
 	chgCache map[string]*costEntry
 	lcCache  map[string]*costEntry
+}
+
+// EngineStats are cumulative counting-engine telemetry counters. All
+// fields are updated atomically.
+type EngineStats struct {
+	// AnalyticHits counts nests priced in closed form.
+	AnalyticHits atomic.Int64
+	// FastwalkFallbacks counts nests that fell back to the compiled
+	// walker.
+	FastwalkFallbacks atomic.Int64
+	// ExactFallbacks counts nests priced by the reference enumerator
+	// (only under the ExactNestCount ablation).
+	ExactFallbacks atomic.Int64
+}
+
+// Snapshot returns the current counter values as a map keyed the way the
+// dmcc report and the daemon /metrics endpoint expose them.
+func (s *EngineStats) Snapshot() map[string]int64 {
+	if s == nil {
+		return map[string]int64{"analytic_hits": 0, "fastwalk_fallbacks": 0, "exact_fallbacks": 0}
+	}
+	return map[string]int64{
+		"analytic_hits":      s.AnalyticHits.Load(),
+		"fastwalk_fallbacks": s.FastwalkFallbacks.Load(),
+		"exact_fallbacks":    s.ExactFallbacks.Load(),
+	}
 }
 
 type segEntry struct {
@@ -149,9 +182,21 @@ func (c *Compiler) fanOut(n int, fn func(k int)) {
 func (c *Compiler) countNest(nest *ir.Nest, ss *SchemeSet, opts cost.CountOptions) (cost.Counts, error) {
 	opts.PipelinedReduction = c.PipelinedReductions
 	if c.ExactNestCount {
+		if c.Engines != nil {
+			c.Engines.ExactFallbacks.Add(1)
+		}
 		return cost.CountNestOptsExact(c.Program, nest, ss.Schemes, ss.Grid, c.Bind, opts)
 	}
-	return cost.CountNestOpts(c.Program, nest, ss.Schemes, ss.Grid, c.Bind, opts)
+	ct, eng, err := cost.CountNestOptsEngine(c.Program, nest, ss.Schemes, ss.Grid, c.Bind, opts)
+	if c.Engines != nil && err == nil {
+		switch eng {
+		case cost.EngineAnalytic:
+			c.Engines.AnalyticHits.Add(1)
+		default:
+			c.Engines.FastwalkFallbacks.Add(1)
+		}
+	}
+	return ct, err
 }
 
 // writtenAtOrAfter reports the arrays written by nests with (0-based)
@@ -337,6 +382,40 @@ func (c *Compiler) changeCost(from, to *SchemeSet) (float64, error) {
 		return c.Model.CollectiveChangeTime(plans), nil
 	}
 	return loads.MaxLoad() * c.Model.Tc, nil
+}
+
+// changeLoadsScaled is changeCost's load accumulation in exact integer
+// arithmetic: every array's dist.RedistLoadsScaled bill merged over a
+// common replica denominator. Only the plain point-to-point pricing has
+// a scaled form; collective and exact-transport configurations report
+// an error so callers fall back to the numeric path.
+func (c *Compiler) changeLoadsScaled(from, to *SchemeSet) (dist.ScaledLoads, error) {
+	if c.CollectiveRedist || c.ExactChangeCost {
+		return dist.ScaledLoads{}, fmt.Errorf("core: scaled change loads cover only the point-to-point pricing")
+	}
+	names := make([]string, 0, len(c.Program.Arrays))
+	for n := range c.Program.Arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	acc := dist.ScaledLoads{In: map[int]int64{}, Out: map[int]int64{}, Den: 1}
+	for _, name := range names {
+		sFrom, ok1 := from.Schemes[name]
+		sTo, ok2 := to.Schemes[name]
+		if !ok1 || !ok2 {
+			return dist.ScaledLoads{}, fmt.Errorf("core: array %s missing from a scheme set", name)
+		}
+		shape, err := shapeOf(c.Program, name, c.Bind)
+		if err != nil {
+			return dist.ScaledLoads{}, err
+		}
+		sl, err := dist.RedistLoadsScaled(from.Grid, to.Grid, shape, sFrom, sTo)
+		if err != nil {
+			return dist.ScaledLoads{}, err
+		}
+		acc.Add(sl)
+	}
+	return acc, nil
 }
 
 // LoopCarriedCost prices the loop-carried reads (the CTime2 term of

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"dmcc/internal/cost"
+	"dmcc/internal/dist"
 )
 
 // frozenSeg is one segment of the frozen plan: which nests, on which
@@ -35,6 +36,20 @@ type PlanEvaluator struct {
 	segs    []frozenSeg
 	execSym []*cost.SymbolicCounts // per nest (0-based), after Fit
 	lcSym   []*cost.SymbolicCounts // loop-carried words per nest, after Fit
+	chgSym  []*cost.SymbolicLoads  // boundary into segment i (chgSym[0] unused), after Fit
+	fitMinM int                    // smallest size the fits cover; below it EvalAt prices numerically
+}
+
+// fittedAt reports whether size m is priced entirely from polynomials,
+// so pricing needs no scheme derivation and no counting or
+// redistribution calculator at all. Sizes below the fitted floor (a
+// plan whose counts only become polynomial past a transient) fall back
+// to the numeric path.
+func (pe *PlanEvaluator) fittedAt(m int) bool {
+	if pe.execSym == nil || pe.chgSym == nil || m < pe.fitMinM {
+		return false
+	}
+	return !pe.c.Program.Iterative || pe.lcSym != nil
 }
 
 // PlanCost is the re-priced plan at one size, split the way DPResult
@@ -98,6 +113,7 @@ func (pe *PlanEvaluator) evalCompiler(m int) *Compiler {
 		NProcs: pe.c.NProcs, Weights: pe.c.Weights, Jobs: 1,
 		ExactNestCount:      pe.c.ExactNestCount,
 		PipelinedReductions: pe.c.PipelinedReductions,
+		Engines:             pe.c.Engines,
 	}
 }
 
@@ -105,7 +121,7 @@ func (pe *PlanEvaluator) evalCompiler(m int) *Compiler {
 // the fitted polynomial when Fit has run, otherwise from the analytic
 // counting engine.
 func (pe *PlanEvaluator) nestCountsAt(t, m int, ss *SchemeSet, ec *Compiler) (cost.Counts, error) {
-	if pe.execSym != nil {
+	if pe.execSym != nil && m >= pe.fitMinM {
 		return pe.execSym[t].EvalAt(m)
 	}
 	nest := pe.c.Program.Nests[t]
@@ -116,7 +132,7 @@ func (pe *PlanEvaluator) nestCountsAt(t, m int, ss *SchemeSet, ec *Compiler) (co
 
 // lcCountsAt prices the loop-carried words of nest t at size m.
 func (pe *PlanEvaluator) lcCountsAt(t, m int, final *SchemeSet, ec *Compiler) (cost.Counts, error) {
-	if pe.lcSym != nil {
+	if pe.lcSym != nil && m >= pe.fitMinM {
 		return pe.lcSym[t].EvalAt(m)
 	}
 	nest := pe.c.Program.Nests[t]
@@ -129,33 +145,56 @@ func (pe *PlanEvaluator) lcCountsAt(t, m int, final *SchemeSet, ec *Compiler) (c
 
 // EvalAt prices the frozen plan at size m. Execution and loop-carried
 // counts come from fitted polynomials (after Fit) or the analytic
-// engine; redistribution between segments comes from the closed-form
-// calculator. Nothing re-runs alignment, the shape search, or the DP.
+// engine; redistribution between segments comes from fitted load
+// polynomials (after Fit) or the closed-form calculator. Nothing
+// re-runs alignment, the shape search, or the DP — and once Fit has
+// accepted the plan, nothing derives schemes or enumerates elements
+// either: the whole price is O(degree) arithmetic.
 func (pe *PlanEvaluator) EvalAt(m int) (PlanCost, error) {
-	sets, err := pe.setsAt(m)
-	if err != nil {
-		return PlanCost{}, err
+	var sets []*SchemeSet
+	var ec *Compiler
+	if !pe.fittedAt(m) {
+		var err error
+		sets, err = pe.setsAt(m)
+		if err != nil {
+			return PlanCost{}, err
+		}
+		ec = pe.evalCompiler(m)
 	}
-	ec := pe.evalCompiler(m)
 	var pc PlanCost
 	for i, fs := range pe.segs {
+		var set *SchemeSet
+		if sets != nil {
+			set = sets[i]
+		}
 		for t := fs.start - 1; t < fs.start-1+fs.n; t++ {
-			ct, err := pe.nestCountsAt(t, m, sets[i], ec)
+			ct, err := pe.nestCountsAt(t, m, set, ec)
 			if err != nil {
 				return PlanCost{}, err
 			}
 			pc.Exec += ct.Time(pe.c.Model).Total()
 		}
 		if i > 0 {
-			chg, err := ec.ChangeCost(sets[i-1], sets[i])
-			if err != nil {
-				return PlanCost{}, err
+			if pe.chgSym != nil && m >= pe.fitMinM {
+				ml, err := pe.chgSym[i].MaxLoadAt(m)
+				if err != nil {
+					return PlanCost{}, err
+				}
+				pc.Redist += ml * pe.c.Model.Tc
+			} else {
+				chg, err := ec.ChangeCost(sets[i-1], sets[i])
+				if err != nil {
+					return PlanCost{}, err
+				}
+				pc.Redist += chg
 			}
-			pc.Redist += chg
 		}
 	}
 	if pe.c.Program.Iterative {
-		final := sets[len(sets)-1]
+		var final *SchemeSet
+		if sets != nil {
+			final = sets[len(sets)-1]
+		}
 		for t := range pe.c.Program.Nests {
 			ct, err := pe.lcCountsAt(t, m, final, ec)
 			if err != nil {
@@ -237,7 +276,40 @@ func (pe *PlanEvaluator) Fit(minM, maxDeg, validate int) error {
 			lcSym[t] = sym
 		}
 	}
-	pe.execSym, pe.lcSym = execSym, lcSym
+	// Segment boundaries: fit each scheme change's scaled loads. The
+	// guard demands that the one-division evaluation MaxNum/Den*Tc
+	// reproduce the numeric float accumulation bit for bit at every
+	// sample; a plan whose replica splits don't round-trip exactly
+	// (possible only for non-power-of-two replica counts) fails the
+	// whole fit and keeps the numeric path.
+	chgSym := make([]*cost.SymbolicLoads, len(pe.segs))
+	for i := 1; i < len(pe.segs); i++ {
+		i := i
+		sym, err := cost.RedistLoadsPoly(func(m int) (dist.ScaledLoads, error) {
+			sc, err := at(m)
+			if err != nil {
+				return dist.ScaledLoads{}, err
+			}
+			sl, err := sc.ec.changeLoadsScaled(sc.sets[i-1], sc.sets[i])
+			if err != nil {
+				return dist.ScaledLoads{}, err
+			}
+			numeric, err := sc.ec.ChangeCost(sc.sets[i-1], sc.sets[i])
+			if err != nil {
+				return dist.ScaledLoads{}, err
+			}
+			if float64(sl.MaxNum())/float64(sl.Den)*pe.c.Model.Tc != numeric {
+				return dist.ScaledLoads{}, fmt.Errorf("core: scaled change loads drift from the float accumulation (denominator %d)", sl.Den)
+			}
+			return sl, nil
+		}, minM, period, maxDeg, validate)
+		if err != nil {
+			return fmt.Errorf("core: fitting scheme change into segment %d: %w", i+1, err)
+		}
+		chgSym[i] = sym
+	}
+	pe.execSym, pe.lcSym, pe.chgSym = execSym, lcSym, chgSym
+	pe.fitMinM = minM
 	return nil
 }
 

@@ -45,13 +45,27 @@ func TestPlanEvaluatorMatchesCompileAtBase(t *testing.T) {
 // TestPlanEvaluatorFit: after fitting, the m-sweep runs on piecewise
 // polynomials alone and must agree exactly with per-size analytic
 // counting — including sizes far beyond any sampled during the fit.
+// Gauss runs at N=16 so its plan keeps two segments: the boundary
+// exercises the symbolic ChangeCost fit, whose one-division evaluation
+// must be bit-identical to the numeric redistribution calculator.
 func TestPlanEvaluatorFit(t *testing.T) {
-	for _, p := range []*ir.Program{ir.Jacobi(), ir.SOR()} {
-		p := p
+	cases := []struct {
+		mk               func() *ir.Program
+		n, baseM         int
+		minM, deg        int
+		evalMs           []int
+		wantMultipleSegs bool
+	}{
+		{mk: ir.Jacobi, n: 4, baseM: 16, minM: 12, deg: 2, evalMs: []int{16, 24, 37, 64, 200, 1001}},
+		{mk: ir.SOR, n: 4, baseM: 16, minM: 12, deg: 2, evalMs: []int{16, 24, 37, 64, 200, 1001}},
+		{mk: ir.Gauss, n: 16, baseM: 64, minM: 64, deg: 3, evalMs: []int{64, 100, 131, 256, 1024}, wantMultipleSegs: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		p := tc.mk()
 		t.Run(p.Name, func(t *testing.T) {
-			const n = 4
 			mk := func() *PlanEvaluator {
-				c := NewCompiler(p, cost.Unit(), map[string]int{"m": 16}, n)
+				c := NewCompiler(tc.mk(), cost.Unit(), map[string]int{"m": tc.baseM}, tc.n)
 				pe, err := NewPlanEvaluator(c)
 				if err != nil {
 					t.Fatal(err)
@@ -59,10 +73,19 @@ func TestPlanEvaluatorFit(t *testing.T) {
 				return pe
 			}
 			fitted, direct := mk(), mk()
-			if err := fitted.Fit(3*n, 2, 2); err != nil {
+			if tc.wantMultipleSegs && len(fitted.segs) < 2 {
+				t.Fatalf("plan has %d segments, want >= 2 to exercise the change fit", len(fitted.segs))
+			}
+			if err := fitted.Fit(tc.minM, tc.deg, 2); err != nil {
 				t.Fatal(err)
 			}
-			for _, m := range []int{16, 24, 37, 64, 200, 1001} {
+			if !fitted.fittedAt(tc.minM) {
+				t.Fatal("Fit succeeded but the evaluator still needs numeric pricing")
+			}
+			if fitted.fittedAt(tc.minM - 1) {
+				t.Fatal("evaluator claims polynomial pricing below the fitted floor")
+			}
+			for _, m := range tc.evalMs {
 				got, err := fitted.EvalAt(m)
 				if err != nil {
 					t.Fatal(err)

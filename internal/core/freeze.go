@@ -36,8 +36,15 @@ type FrozenSegment struct {
 	Change float64        `json:"changeIn"` // redistribution paid entering
 }
 
+// FrozenPlanSchema is the current frozen-plan format. Version 2 added
+// the symbolic scheme-change fits (ChgFits); older payloads priced
+// segment boundaries numerically at thaw time and are rejected rather
+// than silently served with different query-path behavior.
+const FrozenPlanSchema = 2
+
 // FrozenPlan is a complete, serializable compilation plan.
 type FrozenPlan struct {
+	Schema      int             `json:"schema"`
 	BaseM       int             `json:"baseM"`
 	MinimumCost float64         `json:"minimumCost"` // at the base size
 	WholeCost   float64         `json:"wholeCost"`
@@ -47,6 +54,13 @@ type FrozenPlan struct {
 	// (nil when Fit has not run or declined the program).
 	ExecFits []*cost.SymbolicCounts `json:"execFits,omitempty"`
 	LCFits   []*cost.SymbolicCounts `json:"lcFits,omitempty"`
+	// ChgFits holds one symbolic scheme-change bill per segment
+	// (entry 0 unused — no boundary enters the first segment).
+	ChgFits []*cost.SymbolicLoads `json:"chgFits,omitempty"`
+	// FitMinM is the smallest size the fits cover; below it a thawed
+	// evaluator prices numerically (some plans have a pre-polynomial
+	// transient and are fitted from a higher floor).
+	FitMinM int `json:"fitMinM,omitempty"`
 	// FitErr records why fitting was skipped, so a thawed evaluator
 	// reports the same diagnostics as the one that was frozen.
 	FitErr string `json:"fitErr,omitempty"`
@@ -55,9 +69,12 @@ type FrozenPlan struct {
 // Freeze captures the evaluator's plan and fits as plain data.
 func (pe *PlanEvaluator) Freeze() *FrozenPlan {
 	fp := &FrozenPlan{
+		Schema:   FrozenPlanSchema,
 		BaseM:    pe.BaseM,
 		ExecFits: pe.execSym,
 		LCFits:   pe.lcSym,
+		ChgFits:  pe.chgSym,
+		FitMinM:  pe.fitMinM,
 	}
 	if pe.Base != nil {
 		fp.MinimumCost = pe.Base.DP.MinimumCost
@@ -98,6 +115,9 @@ func (pe *PlanEvaluator) Freeze() *FrozenPlan {
 // Validate checks the plan against a program: segments must tile the
 // nest sequence exactly and fits (when present) must cover every nest.
 func (fp *FrozenPlan) Validate(p *ir.Program) error {
+	if fp.Schema != FrozenPlanSchema {
+		return fmt.Errorf("core: frozen plan schema %d, this build reads schema %d", fp.Schema, FrozenPlanSchema)
+	}
 	want := 1
 	for _, seg := range fp.Segments {
 		if seg.Start != want || seg.Len < 1 {
@@ -113,6 +133,9 @@ func (fp *FrozenPlan) Validate(p *ir.Program) error {
 	}
 	if fp.LCFits != nil && len(fp.LCFits) != len(p.Nests) {
 		return fmt.Errorf("core: frozen plan has %d loop-carried fits for %d nests", len(fp.LCFits), len(p.Nests))
+	}
+	if fp.ChgFits != nil && len(fp.ChgFits) != len(fp.Segments) {
+		return fmt.Errorf("core: frozen plan has %d change fits for %d segments", len(fp.ChgFits), len(fp.Segments))
 	}
 	return nil
 }
@@ -130,7 +153,7 @@ func Thaw(c *Compiler, fp *FrozenPlan) (*PlanEvaluator, error) {
 	if err := fp.Validate(c.Program); err != nil {
 		return nil, err
 	}
-	pe := &PlanEvaluator{c: c, BaseM: fp.BaseM, execSym: fp.ExecFits, lcSym: fp.LCFits}
+	pe := &PlanEvaluator{c: c, BaseM: fp.BaseM, execSym: fp.ExecFits, lcSym: fp.LCFits, chgSym: fp.ChgFits, fitMinM: fp.FitMinM}
 	bind := map[string]int{c.Program.Params[0]: fp.BaseM}
 	for _, seg := range fp.Segments {
 		pt := align.Partition{Assign: map[ir.DimID]int{}, Method: "thawed"}

@@ -1,5 +1,5 @@
 // Closed-form nest counting: the RedistLoads treatment applied to
-// CountNestOptsExact. For rectangular affine nests under block / cyclic /
+// CountNestOptsExact. For affine nests under block / cyclic /
 // replicated / displaced schemes, every quantity the exact walker tallies
 // by enumerating the iteration space is a function of per-dimension index
 // sets:
@@ -7,23 +7,31 @@
 //   - the instances a processor executes are, per loop variable, the loop
 //     range intersected with the affine preimage of the owner-coordinate's
 //     owned pattern (an iset), so instance counts factorize across loop
-//     variables;
+//     variables — and when an inner bound depends on an outer variable
+//     (gauss's i = k+1..m) the product becomes a windowed sum over the
+//     outer variable, a sum of arithmetic-progression counts evaluated in
+//     closed form (sumWindowed);
 //   - the elements a processor reads are images of those per-variable
-//     sets under the read subscripts — products of isets, or diagonals
-//     when one variable drives two subscripts — and the globally deduped
+//     sets under the read subscripts — products of isets, diagonals when
+//     one variable drives two subscripts, and half-plane bands when a
+//     dependent variable and its bound variable drive the two subscripts
+//     of one array (L(i,k) below the diagonal) — and the globally deduped
 //     (element, processor) "needed" pairs of the walker are counts of
 //     unions of such rects, by inclusion-exclusion, minus the part the
 //     processor owns;
 //   - send attribution and reduction combining trees partition the
 //     element space into owner-coordinate cells, exactly like
-//     RedistLoads' per-dimension joint count tables.
+//     RedistLoads' per-dimension joint count tables; a dependent bound
+//     between a reduced variable and a free variable cuts those cells at
+//     per-coordinate reach thresholds, and the Section 5 ring is priced
+//     by walking each cell's sorted member chain.
 //
 // Everything is exact int64 arithmetic, so the Counts returned here are
 // identical — not approximately, but word for word — to the enumeration's,
 // while the cost is independent of the loop extents. Nests or schemes
-// outside the eligible class (triangular bounds, rotation, non-unit
-// subscript coefficients, out-of-range subscripts) report ok=false and
-// fall back to the optimized walker.
+// outside the eligible class (bounds depending on more than one outer
+// variable, rotation, non-unit subscript coefficients, out-of-range
+// subscripts) report ok=false and fall back to the optimized walker.
 package cost
 
 import (
@@ -50,6 +58,16 @@ type anSub struct {
 	slot int
 	sign int
 	c    int
+}
+
+// anDep records a loop whose normalized lower or upper bound is
+// root_var + c: the range of slot s at root value v is [v+c, hi] when
+// low, [lo, v+c] otherwise. e.ranges[s] holds the hull over the root's
+// full range.
+type anDep struct {
+	root int
+	c    int
+	low  bool
 }
 
 // anDim is the ownership structure of one array dimension.
@@ -126,7 +144,9 @@ type anEngine struct {
 	q          int
 	strides    []int
 	rankCoords [][]int
-	ranges     []iset // per loop slot
+	ranges     []iset   // per loop slot (the constant hull for dependent slots)
+	deps       []*anDep // per loop slot, nil for constant bounds
+	depRoot    int      // the single root every dependent slot references, or -1
 	arrays     []*anArray
 	stmts      []*anStmt
 	opts       CountOptions
@@ -145,13 +165,6 @@ type anEngine struct {
 // the caller must fall back to enumeration. The caller has already
 // validated the nest.
 func countNestAnalytic(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int, opts CountOptions) (Counts, bool, error) {
-	// The closed forms price reduction cells with the converge-on-root
-	// tree; the Section 5 ring's per-processor in/out chain accounting
-	// has no closed form here yet (ROADMAP: rotated-scheme follow-up),
-	// so pipelined pricing falls back to the compiled walker.
-	if opts.PipelinedReduction {
-		return Counts{}, false, nil
-	}
 	e := &anEngine{g: g, nprocs: g.Size(), q: g.Q(), opts: opts}
 	e.strides = make([]int, e.q)
 	stride := 1
@@ -167,24 +180,72 @@ func countNestAnalytic(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Sch
 		}
 	}
 
-	// Loop ranges must be rectangular: constant bounds once parameters are
-	// bound. The walker's range semantics: an upward loop covers [lo, hi],
-	// a downward loop [hi, lo]; either may be empty.
+	// Loop ranges: constant bounds once parameters are bound, or one
+	// dependent bound of the form outer_var + c. The walker's range
+	// semantics: an upward loop covers [lo, hi], a downward loop
+	// [hi, lo]; either may be empty. A downward loop's raw Lo is the
+	// upper end of the normalized range, so gauss's back-substitution
+	// i = j-1..1 step -1 becomes the upper-dependent window [1, j-1].
 	slotOf := map[string]int{}
 	for s, l := range nest.Loops {
 		slotOf[l.Index] = s
 	}
 	e.ranges = make([]iset, len(nest.Loops))
+	e.deps = make([]*anDep, len(nest.Loops))
+	e.depRoot = -1
+	isConst := make([]bool, len(nest.Loops))
+	type pendLoop struct {
+		s        int
+		loA, hiA ir.Affine
+	}
+	var pends []pendLoop
 	for s, l := range nest.Loops {
-		lo, okLo := constAff(l.Lo, bind)
-		hi, okHi := constAff(l.Hi, bind)
-		if !okLo || !okHi {
-			return Counts{}, false, nil
+		loA, hiA := l.Lo, l.Hi
+		if l.Step < 0 {
+			loA, hiA = hiA, loA
 		}
-		if l.Step >= 0 {
+		lo, okLo := constAff(loA, bind)
+		hi, okHi := constAff(hiA, bind)
+		if okLo && okHi {
 			e.ranges[s] = fullSet(lo, hi)
+			isConst[s] = true
+			continue
+		}
+		pends = append(pends, pendLoop{s: s, loA: loA, hiA: hiA})
+	}
+	for _, pd := range pends {
+		lo, okLo := constAff(pd.loA, bind)
+		hi, okHi := constAff(pd.hiA, bind)
+		var dp anDep
+		switch {
+		case okHi && !okLo:
+			root, c, ok := depAff(pd.loA, bind, slotOf)
+			if !ok {
+				return Counts{}, false, nil
+			}
+			dp = anDep{root: root, c: c, low: true}
+		case okLo && !okHi:
+			root, c, ok := depAff(pd.hiA, bind, slotOf)
+			if !ok {
+				return Counts{}, false, nil
+			}
+			dp = anDep{root: root, c: c, low: false}
+		default:
+			return Counts{}, false, nil // both bounds dependent
+		}
+		if dp.root >= pd.s || !isConst[dp.root] {
+			return Counts{}, false, nil // chained or inward dependence
+		}
+		if e.depRoot >= 0 && e.depRoot != dp.root {
+			return Counts{}, false, nil // two distinct roots
+		}
+		e.depRoot = dp.root
+		e.deps[pd.s] = &dp
+		rr := e.ranges[dp.root]
+		if dp.low {
+			e.ranges[pd.s] = fullSet(rr.lo+dp.c, hi)
 		} else {
-			e.ranges[s] = fullSet(hi, lo)
+			e.ranges[pd.s] = fullSet(lo, rr.hi+dp.c)
 		}
 	}
 
@@ -340,10 +401,7 @@ func countNestAnalytic(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Sch
 			if !e.rankExecutes(as, q, allowed, constrained) {
 				continue
 			}
-			iter := int64(1)
-			for s := 0; s < as.depth; s++ {
-				iter *= allowed[s].count()
-			}
+			iter, reff, hasDep := e.stmtSpace(as, allowed)
 			if iter == 0 {
 				continue
 			}
@@ -351,11 +409,25 @@ func countNestAnalytic(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Sch
 				e.flops[pr] += as.flops * iter
 			}
 			for _, rd := range as.reads {
-				r, ok := e.readRect(rd, allowed)
+				r, ok, fallback := e.readRect(rd, allowed, reff, hasDep)
+				if fallback {
+					return Counts{}, false, nil
+				}
 				if !ok {
 					continue
 				}
-				fp := append(e.footprints[rd.arr.idx][pr], r)
+				fp := e.footprints[rd.arr.idx][pr]
+				dup := false
+				for _, x := range fp {
+					if rectEq(x, r) {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				fp = append(fp, r)
 				if len(fp) > maxFootprintRects {
 					return Counts{}, false, nil
 				}
@@ -435,7 +507,8 @@ func countNestAnalytic(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Sch
 
 // rankExecutes fills allowed[0:depth] with the per-variable instance sets
 // of rank q for stmt as, reporting false when a gate already excludes the
-// rank.
+// rank. For dependent slots the set is the hull-range restriction; the
+// per-root-value window is applied by stmtSpace.
 func (e *anEngine) rankExecutes(as *anStmt, q []int, allowed []iset, constrained []bool) bool {
 	for _, gt := range as.gates {
 		if q[gt.gd] != gt.coord {
@@ -458,39 +531,207 @@ func (e *anEngine) rankExecutes(as *anStmt, q []int, allowed []iset, constrained
 	return true
 }
 
-// readRect builds the element rect a read touches over the instance sets.
-// ok=false means the footprint is empty.
-func (e *anEngine) readRect(rd anRef, allowed []iset) (rect, bool) {
-	a := rd.arr
-	if a.rank == 1 {
-		s0, ok := subImage(rd.subs[0], allowed)
-		if !ok {
-			return rect{}, false
+// stmtSpace computes the rank's instance count for as over allowed[],
+// together with reff — the root values carrying at least one full
+// instance, which is the exact projection every root-subscript footprint
+// reads from. hasDep reports whether any dependent slot lies below the
+// statement's depth; when it does, the instance count is the windowed
+// product sum over the root instead of a plain product.
+func (e *anEngine) stmtSpace(as *anStmt, allowed []iset) (int64, iset, bool) {
+	hasDep := false
+	for s := 0; s < as.depth; s++ {
+		if e.deps[s] != nil {
+			hasDep = true
+			break
 		}
-		return prodRect(s0, singletonSet(1)), true
 	}
-	sp0, sp1 := rd.subs[0], rd.subs[1]
-	if sp0.slot >= 0 && sp0.slot == sp1.slot {
-		base := allowed[sp0.slot]
-		if base.empty() {
-			return rect{}, false
+	if !hasDep {
+		iter := int64(1)
+		for s := 0; s < as.depth; s++ {
+			iter *= allowed[s].count()
 		}
-		return diagRect(base, sp0.sign, sp0.c, sp1.sign, sp1.c), true
+		return iter, iset{}, false
 	}
-	s0, ok0 := subImage(sp0, allowed)
-	s1, ok1 := subImage(sp1, allowed)
-	if !ok0 || !ok1 {
-		return rect{}, false
+	root := e.depRoot
+	cons := int64(1)
+	var terms []winTerm
+	reff := allowed[root]
+	for s := 0; s < as.depth; s++ {
+		if s == root {
+			continue
+		}
+		d := e.deps[s]
+		if d == nil {
+			cons *= allowed[s].count()
+			continue
+		}
+		t := winTerm{set: allowed[s]}
+		if d.low {
+			t.los = append(t.los, affBound{c: d.c, k: 1})
+			if mx, ok := allowed[s].maxElem(); ok {
+				reff = reff.clip(bandMin, mx-d.c)
+			} else {
+				reff = reff.clip(1, 0)
+			}
+		} else {
+			t.his = append(t.his, affBound{c: d.c, k: 1})
+			if mn, ok := allowed[s].minElem(); ok {
+				reff = reff.clip(mn-d.c, bandMax)
+			} else {
+				reff = reff.clip(1, 0)
+			}
+		}
+		terms = append(terms, t)
 	}
-	return prodRect(s0, s1), true
+	if cons == 0 {
+		return 0, reff, true
+	}
+	return cons * sumWindowed(allowed[root], terms), reff, true
 }
 
-func subImage(sp anSub, allowed []iset) (iset, bool) {
-	if sp.slot < 0 {
-		return singletonSet(sp.c), true
+// Subscript-variable kinds for footprint construction.
+const (
+	kConst = iota // constant subscript
+	kPlain        // constant-bounded loop variable
+	kRoot         // the variable dependent bounds reference
+	kDep          // a variable with a dependent bound
+)
+
+// window returns the dependent slot's instance set at root value v.
+func (e *anEngine) window(allowed []iset, slot, v int) iset {
+	d := e.deps[slot]
+	if d.low {
+		return allowed[slot].clip(v+d.c, bandMax)
 	}
-	img := allowed[sp.slot].affineImage(sp.sign, sp.c)
-	return img, !img.empty()
+	return allowed[slot].clip(bandMin, v+d.c)
+}
+
+// readRect builds the element rect a read touches over the instance
+// sets. ok=false means the footprint is empty; fallback=true means the
+// reference couples dependent variables in a shape the rect algebra
+// cannot express, so the whole nest must fall back to enumeration.
+//
+// With dependent bounds the touched set per reference shape is:
+//
+//   - root-subscript sides project to reff (root values with a full
+//     instance);
+//   - a dependent and the root driving the two dims of one array is the
+//     half-plane band  sgn_d*e_d - sgn_r*e_r >= c  (or <=) over the box
+//     of the two images — exact because unit slopes make the pairing
+//     per-element;
+//   - dependent sides without the root collapse to the widest window,
+//     reached at the extreme root value of reff (windows are nested in
+//     the root), provided every dependent side of the reference opens in
+//     the same direction.
+func (e *anEngine) readRect(rd anRef, allowed []iset, reff iset, hasDep bool) (rect, bool, bool) {
+	a := rd.arr
+	kind := func(sp anSub) int {
+		if sp.slot < 0 {
+			return kConst
+		}
+		if !hasDep {
+			return kPlain
+		}
+		if sp.slot == e.depRoot {
+			return kRoot
+		}
+		if e.deps[sp.slot] != nil {
+			return kDep
+		}
+		return kPlain
+	}
+	vStar := func(low bool) (int, bool) {
+		if low {
+			return reff.minElem()
+		}
+		return reff.maxElem()
+	}
+	side := func(sp anSub, k int) (iset, bool, bool) {
+		switch k {
+		case kConst:
+			return singletonSet(sp.c), true, false
+		case kPlain:
+			img := allowed[sp.slot].affineImage(sp.sign, sp.c)
+			return img, !img.empty(), false
+		case kRoot:
+			img := reff.affineImage(sp.sign, sp.c)
+			return img, !img.empty(), false
+		default: // kDep
+			v, ok := vStar(e.deps[sp.slot].low)
+			if !ok {
+				return iset{}, false, false
+			}
+			img := e.window(allowed, sp.slot, v).affineImage(sp.sign, sp.c)
+			return img, !img.empty(), false
+		}
+	}
+	if a.rank == 1 {
+		s0, ok, _ := side(rd.subs[0], kind(rd.subs[0]))
+		if !ok {
+			return rect{}, false, false
+		}
+		return prodRect(s0, singletonSet(1)), true, false
+	}
+	sp0, sp1 := rd.subs[0], rd.subs[1]
+	k0, k1 := kind(sp0), kind(sp1)
+	if sp0.slot >= 0 && sp0.slot == sp1.slot {
+		// One variable drives both subscripts: a diagonal of its set.
+		var base iset
+		switch k0 {
+		case kRoot:
+			base = reff
+		case kDep:
+			v, ok := vStar(e.deps[sp0.slot].low)
+			if !ok {
+				return rect{}, false, false
+			}
+			base = e.window(allowed, sp0.slot, v)
+		default:
+			base = allowed[sp0.slot]
+		}
+		if base.empty() {
+			return rect{}, false, false
+		}
+		return diagRect(base, sp0.sign, sp0.c, sp1.sign, sp1.c), true, false
+	}
+	if (k0 == kDep && k1 == kRoot) || (k0 == kRoot && k1 == kDep) {
+		// The dependent variable and its root drive the two dims: the
+		// band  sgn_d*e_d - sgn_r*e_r >= gamma  over the image box.
+		dsp, rsp, ddim := sp0, sp1, 0
+		if k0 == kRoot {
+			dsp, rsp, ddim = sp1, sp0, 1
+		}
+		d := e.deps[dsp.slot]
+		dImg := allowed[dsp.slot].affineImage(dsp.sign, dsp.c)
+		rImg := reff.affineImage(rsp.sign, rsp.c)
+		var r rect
+		if ddim == 0 {
+			r = prodRect(dImg, rImg)
+		} else {
+			r = prodRect(rImg, dImg)
+		}
+		gamma := d.c + dsp.sign*dsp.c - rsp.sign*rsp.c
+		if ddim == 0 {
+			r = r.halfPlane(dsp.sign, -rsp.sign, gamma, d.low)
+		} else {
+			r = r.halfPlane(-rsp.sign, dsp.sign, gamma, d.low)
+		}
+		if r.count() == 0 {
+			return rect{}, false, false
+		}
+		return r, true, false
+	}
+	if k0 == kDep && k1 == kDep && e.deps[sp0.slot].low != e.deps[sp1.slot].low {
+		// Two dependent variables whose windows open in opposite
+		// directions: their union over the root is not one box.
+		return rect{}, false, true
+	}
+	s0, ok0, _ := side(sp0, k0)
+	s1, ok1, _ := side(sp1, k1)
+	if !ok0 || !ok1 {
+		return rect{}, false, false
+	}
+	return prodRect(s0, s1), true, false
 }
 
 // intersectAll intersects every rect with r, dropping provably empty
@@ -545,13 +786,32 @@ func (e *anEngine) forEachOwnerCell(a *anArray, visit func(cell rect, firstRank 
 	}
 }
 
+// uMask gates one grid dimension's coordinates for the elements of one
+// reduction cell: the per-coordinate reach of a dependent bound between
+// the reduced variable and a free variable.
+type uMask struct {
+	gd int
+	ok []bool
+}
+
 // varCombo is one cell of a reduction variable's value space: cnt values
-// sharing the same anchor-owner coordinates (pins) and the same
-// first-owner contribution to the combining root (rootAdd).
+// sharing the same anchor-owner coordinates (pins), the same first-owner
+// contribution to the combining root (rootAdd), and the same
+// dependent-reach masks.
 type varCombo struct {
 	cnt     int64
 	pins    []anGate
 	rootAdd int
+	masks   []uMask
+}
+
+// uCut cuts a reduction variable's value space at per-coordinate reach
+// thresholds: coordinate a of grid dim gd holds partials of element u
+// iff u <= thr[a] (upper) or u >= thr[a] (lower).
+type uCut struct {
+	gd    int
+	upper bool
+	thr   []int
 }
 
 // redC is one per-coordinate constraint on a reduction variable: an
@@ -586,10 +846,13 @@ func (as *anStmt) constraintSets(slot, gd int) []iset {
 // element are the anchor owners over every instance writing it; all
 // non-root holders send one word, and the root receives Log2Ceil(n)
 // tree-level words (or a single transfer when the only holder is not the
-// root). Both the holder set and the root are constant on cells of the
-// LHS-variable value space cut by the anchor and LHS owner patterns, so
-// the accounting is a sum over those cells. Reports false to request
-// fallback when the cell enumeration would blow up.
+// root); under PipelinedReduction the holders instead form the Section 5
+// ring in rank order. Both the holder set and the root are constant on
+// cells of the LHS-variable value space cut by the anchor and LHS owner
+// patterns — plus, when a dependent bound ties the reduced variable to a
+// free variable, at the per-coordinate reach thresholds of that bound.
+// Reports false to request fallback when the cell enumeration would blow
+// up or the dependence shape is outside the supported couplings.
 func (e *anEngine) reduceStmt(as *anStmt) bool {
 	la := as.lhs.arr
 	aa := as.anchor.arr
@@ -648,7 +911,95 @@ func (e *anEngine) reduceStmt(as *anStmt) bool {
 			freeDims[sp.slot] = append(freeDims[sp.slot], k)
 		}
 	}
+
+	// Dependent-bound coupling: when the reduced variable and a free
+	// variable share a dependent bound, holder membership varies with the
+	// element — a per-coordinate threshold on the reduced value.
+	root := e.depRoot
+	coupled := map[int]bool{}
+	uCuts := map[int][]uCut{}
+	for s := 0; s < as.depth; s++ {
+		d := e.deps[s]
+		if d == nil {
+			continue
+		}
+		switch {
+		case inU[s] && !inU[root] && len(freeDims[root]) > 0:
+			// Reduced variable bounded by the free root (gauss back
+			// substitution): coordinate a holds u iff the root's owned
+			// values reach past u.
+			if len(freeDims[root]) != 1 {
+				return false
+			}
+			gd := aa.dims[freeDims[root][0]].gd
+			sets := as.constraintSets(root, gd)
+			thr := make([]int, len(sets))
+			for a2, S := range sets {
+				if d.low {
+					// u >= v + c: holds iff min(S) + c <= u.
+					if mn, ok := S.minElem(); ok {
+						thr[a2] = mn + d.c
+					} else {
+						thr[a2] = bandMax
+					}
+				} else {
+					// u <= v + c: holds iff u <= max(S) + c.
+					if mx, ok := S.maxElem(); ok {
+						thr[a2] = mx + d.c
+					} else {
+						thr[a2] = bandMin
+					}
+				}
+			}
+			uCuts[s] = append(uCuts[s], uCut{gd: gd, upper: !d.low, thr: thr})
+			coupled[root] = true
+		case inU[root] && !inU[s] && len(freeDims[s]) > 0:
+			// Free variable bounded by the reduced root: coordinate a
+			// holds u iff its owned values intersect [u+c, hi] / [lo, u+c].
+			if len(freeDims[s]) != 1 {
+				return false
+			}
+			gd := aa.dims[freeDims[s][0]].gd
+			sets := as.constraintSets(s, gd)
+			thr := make([]int, len(sets))
+			for a2, S := range sets {
+				if d.low {
+					if mx, ok := S.maxElem(); ok {
+						thr[a2] = mx - d.c
+					} else {
+						thr[a2] = bandMin
+					}
+				} else {
+					if mn, ok := S.minElem(); ok {
+						thr[a2] = mn - d.c
+					} else {
+						thr[a2] = bandMax
+					}
+				}
+			}
+			uCuts[root] = append(uCuts[root], uCut{gd: gd, upper: d.low, thr: thr})
+			coupled[s] = true
+		case inU[s] && !inU[root] && len(freeDims[root]) == 0:
+			// Spectator root: every hull value of u executes for some
+			// root value, and the root drives no holder coordinate.
+		case !inU[s] && len(freeDims[s]) == 0:
+			// Spectator dependent slot: it neither shapes elements nor
+			// holders, but its window can empty out part of the root's
+			// value space — only safe when the root is also a spectator
+			// (the constraint sets below already carry the hull).
+			return false
+		default:
+			return false
+		}
+	}
+	if len(uCuts) > 0 && len(pairs) > 0 {
+		return false
+	}
+
 	for slot, ks := range freeDims {
+		if coupled[slot] {
+			continue // superseded by the reach thresholds
+		}
 		if len(ks) == 1 {
 			d := aa.dims[ks[0]]
 			sets := as.constraintSets(slot, d.gd)
@@ -671,6 +1022,9 @@ func (e *anEngine) reduceStmt(as *anStmt) bool {
 			}
 		}
 		pairs = append(pairs, pairCond{gd0: d0.gd, gd1: d1.gd, n1: d1.n, ok: ok})
+	}
+	if len(uCuts) > 0 && len(pairs) > 0 {
+		return false
 	}
 
 	// Per-LHS-variable cells.
@@ -703,13 +1057,63 @@ func (e *anEngine) reduceStmt(as *anStmt) bool {
 			}
 			cs = append(cs, redC{gd: d.gd, stride: e.strides[d.gd], sets: sets})
 		}
+		cuts := uCuts[slot]
 		var combos []varCombo
-		var rec func(ci int, acc iset, pins []anGate, rootAdd int)
-		rec = func(ci int, acc iset, pins []anGate, rootAdd int) {
-			if ci == len(cs) {
+		leaf := func(acc iset, pins []anGate, rootAdd int) {
+			if len(cuts) == 0 {
 				if c := acc.count(); c > 0 {
 					combos = append(combos, varCombo{cnt: c, pins: append([]anGate(nil), pins...), rootAdd: rootAdd})
 				}
+				return
+			}
+			// Split the cell at every reach boundary so membership is
+			// uniform per piece.
+			var bs []int
+			for _, ct := range cuts {
+				for _, t := range ct.thr {
+					b := t
+					if ct.upper {
+						b = t + 1
+					}
+					if b > acc.lo && b <= acc.hi {
+						bs = append(bs, b)
+					}
+				}
+			}
+			sortInts(bs)
+			bs = dedupInts(bs)
+			l := acc.lo
+			for i := 0; i <= len(bs); i++ {
+				h := acc.hi
+				if i < len(bs) {
+					h = bs[i] - 1
+				}
+				if h >= l {
+					if c := acc.countIn(l, h); c > 0 {
+						masks := make([]uMask, len(cuts))
+						for ci, ct := range cuts {
+							okc := make([]bool, len(ct.thr))
+							for a2, t := range ct.thr {
+								if ct.upper {
+									okc[a2] = h <= t
+								} else {
+									okc[a2] = l >= t
+								}
+							}
+							masks[ci] = uMask{gd: ct.gd, ok: okc}
+						}
+						combos = append(combos, varCombo{cnt: c, pins: append([]anGate(nil), pins...), rootAdd: rootAdd, masks: masks})
+					}
+				}
+				if i < len(bs) {
+					l = bs[i]
+				}
+			}
+		}
+		var rec func(ci int, acc iset, pins []anGate, rootAdd int)
+		rec = func(ci int, acc iset, pins []anGate, rootAdd int) {
+			if ci == len(cs) {
+				leaf(acc, pins, rootAdd)
 				return
 			}
 			c := cs[ci]
@@ -737,12 +1141,12 @@ func (e *anEngine) reduceStmt(as *anStmt) bool {
 	// reduced elements with identical holder set and root.
 	pins := make([]int, e.q)
 	var members []int
-	var emit func(vi int, cnt int64, rootAdd int, varPins []anGate)
-	allPins := []anGate{}
-	emit = func(vi int, cnt int64, rootAdd int, varPins []anGate) {
+	var emit func(vi int, cnt int64, rootAdd int, varPins []anGate, varMasks []uMask)
+	emit = func(vi int, cnt int64, rootAdd int, varPins []anGate, varMasks []uMask) {
 		if vi < len(uSlots) {
 			for _, cb := range perVar[vi] {
-				emit(vi+1, cnt*cb.cnt, rootAdd+cb.rootAdd, append(varPins, cb.pins...))
+				emit(vi+1, cnt*cb.cnt, rootAdd+cb.rootAdd,
+					append(varPins, cb.pins...), append(varMasks, cb.masks...))
 			}
 			return
 		}
@@ -751,6 +1155,8 @@ func (e *anEngine) reduceStmt(as *anStmt) bool {
 		for _, g := range varPins {
 			pins[g.gd] = g.coord
 		}
+		// members stays in increasing rank order — the chain order the
+		// walker sorts into for the ring.
 		members = members[:0]
 		for pr := 0; pr < e.nprocs; pr++ {
 			q := e.rankCoords[pr]
@@ -763,6 +1169,14 @@ func (e *anEngine) reduceStmt(as *anStmt) bool {
 				if ca := coordAllowed[gd]; ok && ca != nil && !ca[q[gd]] {
 					ok = false
 					break
+				}
+			}
+			if ok {
+				for _, mk := range varMasks {
+					if !mk.ok[q[mk.gd]] {
+						ok = false
+						break
+					}
 				}
 			}
 			if ok {
@@ -786,6 +1200,20 @@ func (e *anEngine) reduceStmt(as *anStmt) bool {
 				e.out[pr] += cnt
 				e.in[root] += cnt
 			}
+		case e.opts.PipelinedReduction:
+			// Section 5 ring: the running total visits the holders in
+			// rank order, one word per hop; the last holder closes the
+			// ring back to the root.
+			for i := 1; i < n; i++ {
+				e.out[members[i-1]] += cnt
+				e.in[members[i]] += cnt
+			}
+			e.reduceW += int64(n-1) * cnt
+			if last := members[n-1]; last != root {
+				e.reduceW += cnt
+				e.out[last] += cnt
+				e.in[root] += cnt
+			}
 		default:
 			rootIn := false
 			for _, pr := range members {
@@ -803,7 +1231,7 @@ func (e *anEngine) reduceStmt(as *anStmt) bool {
 			e.in[root] += int64(Log2Ceil(n)) * cnt
 		}
 	}
-	emit(0, 1, 0, allPins)
+	emit(0, 1, 0, []anGate{}, []uMask{})
 	return true
 }
 
@@ -822,6 +1250,34 @@ func constAff(a ir.Affine, bind map[string]int) (int, bool) {
 		v += c * bv
 	}
 	return v, true
+}
+
+// depAff recognizes a bound of the form outer_var + c: exactly one loop
+// variable, unit coefficient, all other terms constant under bind.
+func depAff(a ir.Affine, bind map[string]int, slotOf map[string]int) (slot, c int, ok bool) {
+	slot = -1
+	c = a.Const
+	for v, cf := range a.Coeff {
+		if cf == 0 {
+			continue
+		}
+		if s, isVar := slotOf[v]; isVar {
+			if slot >= 0 || cf != 1 {
+				return 0, 0, false
+			}
+			slot = s
+			continue
+		}
+		bv, okB := bind[v]
+		if !okB {
+			return 0, 0, false
+		}
+		c += cf * bv
+	}
+	if slot < 0 {
+		return 0, 0, false
+	}
+	return slot, c, true
 }
 
 // compileSub compiles a subscript into sign*var + c form; ok=false when

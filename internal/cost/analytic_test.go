@@ -296,3 +296,287 @@ func TestCountNestAnalyticJacobi(t *testing.T) {
 		}
 	}
 }
+
+// randTriangularProgram builds a random nest whose inner loops carry
+// bounds dependent on the outermost (root) variable — gauss's i = k+1..m
+// and back-substitution's i = j-1..1 — mixed with constant-bounded
+// slots, diagonals, reversed subscripts and reductions. The class the
+// triangular extension of the analytic engine must price exactly.
+func randTriangularProgram(rng *rand.Rand, m, depth int) *ir.Program {
+	p := &ir.Program{
+		Name: "tri",
+		Arrays: map[string]*ir.Array{
+			"A": {Name: "A", Extents: []ir.Affine{ir.V("m"), ir.V("m")}},
+			"C": {Name: "C", Extents: []ir.Affine{ir.V("m"), ir.V("m")}},
+			"B": {Name: "B", Extents: []ir.Affine{ir.V("m")}},
+			"X": {Name: "X", Extents: []ir.Affine{ir.V("m")}},
+		},
+		Params: []string{"m"},
+	}
+	vars := []string{"k", "i", "j"}[:depth]
+	nest := &ir.Nest{Label: "T1"}
+	loMin := make([]int, depth)
+	hiMax := make([]int, depth)
+	lo0 := 1 + rng.Intn(2)
+	hi0 := m - rng.Intn(2)
+	loMin[0], hiMax[0] = lo0, hi0
+	rootLoop := ir.Loop{Index: vars[0], Lo: ir.Const(lo0), Hi: ir.Const(hi0), Step: 1}
+	if rng.Intn(3) == 0 {
+		rootLoop = ir.Loop{Index: vars[0], Lo: ir.Const(hi0), Hi: ir.Const(lo0), Step: -1}
+	}
+	nest.Loops = append(nest.Loops, rootLoop)
+	for l := 1; l < depth; l++ {
+		if rng.Intn(3) == 0 {
+			// Constant-bounded slot alongside the triangular ones.
+			lo := 1 + rng.Intn(2)
+			hi := m - rng.Intn(2)
+			loMin[l], hiMax[l] = lo, hi
+			nest.Loops = append(nest.Loops, ir.Loop{Index: vars[l], Lo: ir.Const(lo), Hi: ir.Const(hi), Step: 1})
+			continue
+		}
+		var loA, hiA ir.Affine
+		if rng.Intn(2) == 0 {
+			// Lower bound follows the root: v = root+c .. hi.
+			c := rng.Intn(3)
+			hi := m - rng.Intn(2)
+			loA = ir.NewAffine(c, ir.Term{Var: vars[0], Coeff: 1})
+			hiA = ir.Const(hi)
+			loMin[l], hiMax[l] = lo0+c, hi
+		} else {
+			// Upper bound follows the root: v = lo .. root+c.
+			c := -rng.Intn(2)
+			lo := 1 + rng.Intn(2)
+			loA = ir.NewAffine(c, ir.Term{Var: vars[0], Coeff: 1})
+			hiA = ir.Const(lo)
+			loA, hiA = hiA, loA
+			loMin[l], hiMax[l] = lo, hi0+c
+		}
+		step := 1
+		if rng.Intn(3) == 0 {
+			step = -1
+			loA, hiA = hiA, loA
+		}
+		nest.Loops = append(nest.Loops, ir.Loop{Index: vars[l], Lo: loA, Hi: hiA, Step: step})
+	}
+	randSub := func(scope int) ir.Affine {
+		if rng.Intn(5) == 0 {
+			return ir.Const(1 + rng.Intn(m))
+		}
+		l := rng.Intn(scope)
+		if loMin[l] > hiMax[l] {
+			return ir.Const(1 + rng.Intn(m))
+		}
+		if rng.Intn(5) == 0 {
+			// Reversed: c - v staying in [1, m] over the hull.
+			return ir.NewAffine(hiMax[l]+1, ir.Term{Var: vars[l], Coeff: -1})
+		}
+		cLo, cHi := 1-loMin[l], m-hiMax[l]
+		c := 0
+		switch {
+		case cLo <= -1 && rng.Intn(3) == 0:
+			c = -1
+		case cHi >= 1 && rng.Intn(3) == 0:
+			c = 1
+		}
+		return ir.NewAffine(c, ir.Term{Var: vars[l], Coeff: 1})
+	}
+	names := []string{"A", "C", "B", "X"}
+	randRef := func(scope int) ir.Ref {
+		name := names[rng.Intn(len(names))]
+		if p.Arrays[name].Rank() == 1 {
+			return ir.R(name, randSub(scope))
+		}
+		return ir.R(name, randSub(scope), randSub(scope))
+	}
+	nStmts := 1 + rng.Intn(2)
+	for si := 0; si < nStmts; si++ {
+		d := 1 + rng.Intn(depth)
+		st := &ir.Stmt{Line: si + 1, Depth: d, Flops: 1 + rng.Intn(3)}
+		st.LHS = randRef(d)
+		nr := 1 + rng.Intn(2)
+		for r := 0; r < nr; r++ {
+			st.Reads = append(st.Reads, randRef(d))
+		}
+		if rng.Intn(3) == 0 {
+			st.Reduce = true
+			st.Reads = append(st.Reads, st.LHS)
+		}
+		nest.Stmts = append(nest.Stmts, st)
+	}
+	p.Nests = []*ir.Nest{nest}
+	return p
+}
+
+// TestCountNestTriangularMatchesOracle is the randomized property test of
+// the triangular extension: dependent-bound nests under random schemes
+// must price word-for-word like the reference enumeration, through both
+// production engines, with and without the Section 5 ring pricing.
+func TestCountNestTriangularMatchesOracle(t *testing.T) {
+	grids := []*grid.Grid{
+		grid.New(4, 1), grid.New(1, 4), grid.New(2, 2), grid.New(2, 3), grid.New(6, 1),
+	}
+	rng := rand.New(rand.NewSource(1993))
+	analyticHits := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		g := grids[trial%len(grids)]
+		m := 8 + rng.Intn(5)
+		bind := map[string]int{"m": m}
+		p := randTriangularProgram(rng, m, 2+rng.Intn(2))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
+		}
+		nest := p.Nests[0]
+		schemes := map[string]dist.Scheme{}
+		for name, arr := range p.Arrays {
+			shape := make([]int, arr.Rank())
+			for k := range shape {
+				shape[k] = m
+			}
+			schemes[name] = randScheme(rng, g, shape)
+			if err := schemes[name].Validate(g, shape); err != nil {
+				t.Fatalf("trial %d: invalid scheme for %s: %v", trial, name, err)
+			}
+		}
+		var opts CountOptions
+		switch trial % 5 {
+		case 1:
+			excl := []string{"A", "C", "B", "X"}[rng.Intn(4)]
+			opts.IncludeRead = func(a string) bool { return a != excl }
+		case 2:
+			opts.SkipReduction = true
+			opts.SkipFlops = true
+		case 3:
+			opts.PipelinedReduction = true
+		}
+
+		want, err := CountNestOptsExact(p, nest, schemes, g, bind, opts)
+		if err != nil {
+			t.Fatalf("trial %d: oracle: %v", trial, err)
+		}
+		gotFast, err := countNestFast(p, nest, schemes, g, bind, opts)
+		if err != nil {
+			t.Fatalf("trial %d: fast walker: %v", trial, err)
+		}
+		countsEqual(t, "fast walker", gotFast, want)
+		gotAn, ok, err := countNestAnalytic(p, nest, schemes, g, bind, opts)
+		if err != nil {
+			t.Fatalf("trial %d: analytic: %v", trial, err)
+		}
+		if ok {
+			analyticHits++
+			countsEqual(t, "analytic", gotAn, want)
+		}
+		if t.Failed() {
+			t.Fatalf("trial %d: m=%d grid=%s nest=%+v", trial, m, g, nest)
+		}
+	}
+	if analyticHits < trials/4 {
+		t.Fatalf("analytic path engaged on only %d/%d trials", analyticHits, trials)
+	}
+}
+
+// TestCountNestTriangularLargeM drives the closed-form windowed-sum path:
+// at m well past the direct-summation cap the per-residue polynomial
+// interpolation answers, and must still match the enumeration exactly.
+func TestCountNestTriangularLargeM(t *testing.T) {
+	grids := []*grid.Grid{grid.New(4, 1), grid.New(2, 2), grid.New(6, 1)}
+	rng := rand.New(rand.NewSource(7))
+	analyticHits := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		g := grids[trial%len(grids)]
+		m := 150 + rng.Intn(120)
+		bind := map[string]int{"m": m}
+		p := randTriangularProgram(rng, m, 2)
+		nest := p.Nests[0]
+		schemes := map[string]dist.Scheme{}
+		for name, arr := range p.Arrays {
+			shape := make([]int, arr.Rank())
+			for k := range shape {
+				shape[k] = m
+			}
+			schemes[name] = randScheme(rng, g, shape)
+		}
+		opts := CountOptions{PipelinedReduction: trial%2 == 0}
+		want, err := CountNestOptsExact(p, nest, schemes, g, bind, opts)
+		if err != nil {
+			t.Fatalf("trial %d: oracle: %v", trial, err)
+		}
+		gotAn, ok, err := countNestAnalytic(p, nest, schemes, g, bind, opts)
+		if err != nil {
+			t.Fatalf("trial %d: analytic: %v", trial, err)
+		}
+		if ok {
+			analyticHits++
+			countsEqual(t, "analytic", gotAn, want)
+		}
+		if t.Failed() {
+			t.Fatalf("trial %d: m=%d grid=%s nest=%+v", trial, m, g, nest)
+		}
+	}
+	if analyticHits < trials/3 {
+		t.Fatalf("analytic path engaged on only %d/%d trials", analyticHits, trials)
+	}
+}
+
+// gaussSchemes is the Section 6 layout family: cyclic rows for the
+// elimination arrays on a linear grid.
+func gaussSchemes(m, n int) map[string]dist.Scheme {
+	return map[string]dist.Scheme{
+		"A": dist.Scheme2D(dist.Cyclic(0), dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil),
+		"L": dist.Scheme2D(dist.Cyclic(0), dist.Dim{Sign: 1, Disp: -1, Block: m, GridDim: 1}, nil),
+		"V": dist.Scheme1D(dist.Cyclic(0), map[int]int{1: 0}),
+		"B": dist.Scheme1D(dist.Cyclic(0), map[int]int{1: 0}),
+		"X": dist.Scheme1D(dist.Cyclic(0), map[int]int{1: 0}),
+	}
+}
+
+// gaussSchemes2D maps A/L over a 2-D grid (cyclic rows x block columns)
+// with the vectors replicated along the column dimension.
+func gaussSchemes2D(m, n1, n2 int) map[string]dist.Scheme {
+	return map[string]dist.Scheme{
+		"A": dist.Scheme2D(dist.Cyclic(0), dist.BlockContiguous(m, n2, 1), nil),
+		"L": dist.Scheme2D(dist.Cyclic(0), dist.BlockContiguous(m, n2, 1), nil),
+		"V": dist.Scheme1D(dist.Cyclic(0), map[int]int{1: dist.All}),
+		"B": dist.Scheme1D(dist.Cyclic(0), map[int]int{1: 0}),
+		"X": dist.Scheme1D(dist.Cyclic(0), map[int]int{1: dist.All}),
+	}
+}
+
+// TestCountNestAnalyticGauss pins the triangular engine to the paper's
+// flagship kernel: every gauss nest — the k+1..m elimination updates with
+// their below-diagonal L(i,k) band and the j-1..1 back-substitution with
+// its anchored reduction — must engage the closed forms (ok=true) and
+// agree with the oracle under both reduction pricings.
+func TestCountNestAnalyticGauss(t *testing.T) {
+	p := ir.Gauss()
+	m := 19
+	bind := map[string]int{"m": m}
+	for _, tc := range []struct {
+		name    string
+		g       *grid.Grid
+		schemes map[string]dist.Scheme
+	}{
+		{"cyclic-rows", grid.New(4, 1), gaussSchemes(m, 4)},
+		{"cyclic-2d", grid.New(2, 2), gaussSchemes2D(m, 2, 2)},
+	} {
+		for _, pipelined := range []bool{false, true} {
+			opts := CountOptions{PipelinedReduction: pipelined}
+			for _, nest := range p.Nests {
+				want, err := CountNestOptsExact(p, nest, tc.schemes, tc.g, bind, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, ok, err := countNestAnalytic(p, nest, tc.schemes, tc.g, bind, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("%s/%s pipelined=%v: analytic engine declined a triangular nest", tc.name, nest.Label, pipelined)
+				}
+				countsEqual(t, tc.name+"/"+nest.Label, got, want)
+			}
+		}
+	}
+}

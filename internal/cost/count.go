@@ -109,20 +109,43 @@ type CountOptions struct {
 	PipelinedReduction bool
 }
 
+// Engine identifies which counting engine priced a nest.
+type Engine int
+
+const (
+	// EngineAnalytic is the closed-form engine (analytic.go).
+	EngineAnalytic Engine = iota
+	// EngineFastwalk is the optimized iteration-space walker the
+	// analytic engine falls back to (fastwalk.go).
+	EngineFastwalk
+	// EngineExact is the reference enumerator (CountNestOptsExact),
+	// selected only by explicit ablation.
+	EngineExact
+)
+
 // CountNestOpts is the general counting entry point. It produces exactly
 // the Counts of CountNestOptsExact: in closed form, independent of the
 // loop extents, when the nest and schemes are analytic-eligible, and via
 // an optimized iteration-space enumeration otherwise.
 func CountNestOpts(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int, opts CountOptions) (Counts, error) {
+	ct, _, err := CountNestOptsEngine(p, nest, schemes, g, bind, opts)
+	return ct, err
+}
+
+// CountNestOptsEngine is CountNestOpts, additionally reporting which
+// engine produced the counts — the hook behind the compiler's
+// analytic_hits / fastwalk_fallbacks telemetry.
+func CountNestOptsEngine(p *ir.Program, nest *ir.Nest, schemes map[string]dist.Scheme, g *grid.Grid, bind map[string]int, opts CountOptions) (Counts, Engine, error) {
 	if err := validateNest(p, nest, schemes, g, bind); err != nil {
-		return Counts{}, err
+		return Counts{}, EngineFastwalk, err
 	}
 	if ct, ok, err := countNestAnalytic(p, nest, schemes, g, bind, opts); err != nil {
-		return Counts{}, err
+		return Counts{}, EngineAnalytic, err
 	} else if ok {
-		return ct, nil
+		return ct, EngineAnalytic, nil
 	}
-	return countNestFast(p, nest, schemes, g, bind, opts)
+	ct, err := countNestFast(p, nest, schemes, g, bind, opts)
+	return ct, EngineFastwalk, err
 }
 
 // validateNest checks the program, and that every referenced array has a

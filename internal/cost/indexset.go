@@ -3,12 +3,18 @@
 // clipped to an interval — exactly the shape of the index sets owned by
 // one grid coordinate under the Section 2.1 distribution functions
 // (dist.OwnedPattern) and closed under intersection and unit-slope affine
-// maps. A rect lifts isets to 2-D element sets, either as a product of
-// two isets or as a "diagonal" (the image of one iset under a pair of
-// affine maps, which is what correlated subscripts like A(i,i) produce).
-// Counting is exact integer arithmetic throughout, independent of the
-// interval widths — the property that makes nest counting O(1) in the
-// problem size.
+// maps. A rect lifts isets to 2-D element sets: a box product of two
+// isets further cut by difference and sum bands
+//
+//	dlo <= e1 - e0 <= dhi   and   slo <= e1 + e0 <= shi
+//
+// which is the closure, under intersection, of the three shapes affine
+// nests produce: plain products, diagonals (one variable driving both
+// subscripts, a band of width zero), and the triangular half-planes of
+// loop-variable-dependent bounds (i = k+1..m reads A(i,k) below the
+// diagonal). Counting is exact integer arithmetic throughout; band
+// counts reduce to sums of arithmetic-progression counts evaluated in
+// closed form, so the cost stays independent of the interval widths.
 package cost
 
 import "dmcc/internal/dist"
@@ -57,10 +63,70 @@ func (s iset) count() int64 {
 	return c
 }
 
+// countIn counts members of s inside [l, h].
+func (s iset) countIn(l, h int) int64 {
+	if l < s.lo {
+		l = s.lo
+	}
+	if h > s.hi {
+		h = s.hi
+	}
+	if h < l {
+		return 0
+	}
+	var c int64
+	for r, ok := range s.res {
+		if ok {
+			c += countResidue(l, h, s.p, r)
+		}
+	}
+	return c
+}
+
 func (s iset) empty() bool { return s.count() == 0 }
 
 func (s iset) contains(v int) bool {
 	return v >= s.lo && v <= s.hi && s.res[mod(v, s.p)]
+}
+
+// minElem returns the smallest member. Any nonempty set has a member in
+// the first p positions of its interval, so the scan is O(p).
+func (s iset) minElem() (int, bool) {
+	end := s.lo + s.p - 1
+	if end > s.hi {
+		end = s.hi
+	}
+	for v := s.lo; v <= end; v++ {
+		if s.res[mod(v, s.p)] {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (s iset) maxElem() (int, bool) {
+	end := s.hi - s.p + 1
+	if end < s.lo {
+		end = s.lo
+	}
+	for v := s.hi; v >= end; v-- {
+		if s.res[mod(v, s.p)] {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// clip restricts the interval to [l, h].
+func (s iset) clip(l, h int) iset {
+	out := s
+	if l > out.lo {
+		out.lo = l
+	}
+	if h < out.hi {
+		out.hi = h
+	}
+	return out
 }
 
 func gcdInt(a, b int) int {
@@ -111,70 +177,168 @@ func (st iset) affinePreimage(s, c int) iset {
 	return st.affineImage(s, -s*c)
 }
 
-// rect is a set of (e0, e1) element pairs. 1-D arrays use product form
-// with b pinned to the singleton {0}, matching the walker's elemKey.
+// Band sentinels: far enough from any index to never clamp, near enough
+// that band arithmetic (sums and differences of two bounds) cannot
+// overflow.
+const (
+	bandMin = -1 << 40
+	bandMax = 1 << 40
+)
+
+// rect is a set of (e0, e1) element pairs: e0 in a, e1 in b, cut by a
+// difference band dlo <= e1-e0 <= dhi and a sum band slo <= e1+e0 <= shi.
+// Products leave both bands open; a diagonal pins one band to width
+// zero; triangular reads close one side only. 1-D arrays use product
+// form with b pinned to the singleton {0}, matching the walker's
+// elemKey.
 type rect struct {
-	diag bool
-	// Product form: a x b.
-	a, b iset
-	// Diagonal form: {(s0*v+c0, s1*v+c1) : v in s}.
-	s      iset
-	s0, c0 int
-	s1, c1 int
+	a, b     iset
+	dlo, dhi int
+	slo, shi int
 }
 
-func prodRect(a, b iset) rect { return rect{a: a, b: b} }
+func prodRect(a, b iset) rect {
+	return rect{a: a, b: b, dlo: bandMin, dhi: bandMax, slo: bandMin, shi: bandMax}
+}
 
+// diagRect is {(s0*v+c0, s1*v+c1) : v in s}: the box of the two images
+// with the line itself expressed as a zero-width band. The unit slopes
+// make v recoverable from either coordinate, so the band form is the
+// same point set, not an approximation.
 func diagRect(s iset, s0, c0, s1, c1 int) rect {
-	return rect{diag: true, s: s, s0: s0, c0: c0, s1: s1, c1: c1}
+	r := prodRect(s.affineImage(s0, c0), s.affineImage(s1, c1))
+	if s0 == s1 {
+		r.dlo, r.dhi = c1-c0, c1-c0
+	} else {
+		r.slo, r.shi = c0+c1, c0+c1
+	}
+	return r
+}
+
+// halfPlane cuts r by sgn0*e0 + sgn1*e1 >= g (or <= g when ge is false),
+// with sgn0, sgn1 in {-1, +1} — the constraint shape a dependent loop
+// bound induces between two subscript images.
+func (r rect) halfPlane(sgn0, sgn1, g int, ge bool) rect {
+	if sgn0 == sgn1 {
+		// sgn*(e0+e1) >= g  <=>  e0+e1 >= sgn*g (sgn=+1) / <= -g (sgn=-1).
+		if (sgn0 == 1) == ge {
+			if v := sgn0 * g; v > r.slo {
+				r.slo = v
+			}
+		} else {
+			if v := sgn0 * g; v < r.shi {
+				r.shi = v
+			}
+		}
+		return r
+	}
+	// sgn1*(e1-e0) >= g.
+	if (sgn1 == 1) == ge {
+		if v := sgn1 * g; v > r.dlo {
+			r.dlo = v
+		}
+	} else {
+		if v := sgn1 * g; v < r.dhi {
+			r.dhi = v
+		}
+	}
+	return r
 }
 
 func (r rect) count() int64 {
-	if r.diag {
-		return r.s.count()
+	a, b := r.a, r.b
+	if a.hi < a.lo || b.hi < b.lo {
+		return 0
 	}
-	return r.a.count() * r.b.count()
+	dOpen := r.dlo <= b.lo-a.hi && r.dhi >= b.hi-a.lo
+	sOpen := r.slo <= a.lo+b.lo && r.shi >= a.hi+b.hi
+	switch {
+	case dOpen && sOpen:
+		return a.count() * b.count()
+	case r.dlo == r.dhi && sOpen:
+		// One line e1 = e0 + d: members of a whose partner lies in b.
+		return intersectSets(a, b.affinePreimage(1, r.dlo)).count()
+	case r.slo == r.shi && dOpen:
+		// One line e1 = s - e0.
+		return intersectSets(a, b.affinePreimage(-1, r.slo)).count()
+	case r.dlo == r.dhi && r.slo == r.shi:
+		// Two crossing lines: at most one point.
+		if (r.slo-r.dlo)%2 != 0 {
+			return 0
+		}
+		e0 := (r.slo - r.dlo) / 2
+		e1 := e0 + r.dlo
+		if e0+e1 >= r.slo && e0+e1 <= r.shi && a.contains(e0) && b.contains(e1) {
+			return 1
+		}
+		return 0
+	}
+	if r.dlo > r.dhi || r.slo > r.shi {
+		return 0
+	}
+	// General band: sum the windowed count of b over the members of a.
+	t := winTerm{set: b}
+	if r.dlo > bandMin {
+		t.los = append(t.los, affBound{c: r.dlo, k: 1})
+	}
+	if r.slo > bandMin {
+		t.los = append(t.los, affBound{c: r.slo, k: -1})
+	}
+	if r.dhi < bandMax {
+		t.his = append(t.his, affBound{c: r.dhi, k: 1})
+	}
+	if r.shi < bandMax {
+		t.his = append(t.his, affBound{c: r.shi, k: -1})
+	}
+	return sumWindowed(a, []winTerm{t})
 }
 
-// intersectRect intersects two rects. ok == false means provably empty.
-func intersectRect(x, y rect) (rect, bool) {
-	switch {
-	case !x.diag && !y.diag:
-		return prodRect(intersectSets(x.a, y.a), intersectSets(x.b, y.b)), true
-	case x.diag && !y.diag:
-		base := intersectSets(x.s, y.a.affinePreimage(x.s0, x.c0))
-		base = intersectSets(base, y.b.affinePreimage(x.s1, x.c1))
-		return diagRect(base, x.s0, x.c0, x.s1, x.c1), true
-	case !x.diag && y.diag:
-		return intersectRect(y, x)
+// rectEq reports structural equality — same sets, same bands. Used to
+// dedup footprint rects before inclusion-exclusion, whose cost is
+// exponential in the rect count.
+func rectEq(x, y rect) bool {
+	if x.dlo != y.dlo || x.dhi != y.dhi || x.slo != y.slo || x.shi != y.shi {
+		return false
 	}
-	// diag x diag: points (x.s0*v+x.c0, x.s1*v+x.c1) that also lie on y.
-	// The first coordinates match at w = y.s0*(e0 - y.c0), a unit-slope
-	// affine function of v; the second coordinates then match iff
-	// x.s1*v + x.c1 == y.s1*w + y.c1.
-	alpha := y.s0 * x.s0         // dw/dv
-	beta := y.s0 * (x.c0 - y.c0) // w = alpha*v + beta
-	sigma := y.s1 * alpha        // second-coordinate slope via w
-	delta := y.s1*beta + y.c1    // second coordinate via w at v = 0
-	if x.s1 == sigma {
-		if x.c1 != delta {
-			return rect{}, false
+	return isetEq(x.a, y.a) && isetEq(x.b, y.b)
+}
+
+func isetEq(x, y iset) bool {
+	if x.p != y.p || x.lo != y.lo || x.hi != y.hi || len(x.res) != len(y.res) {
+		return false
+	}
+	for i := range x.res {
+		if x.res[i] != y.res[i] {
+			return false
 		}
-		// Same line: restrict v to values whose w lands in y.s.
-		base := intersectSets(x.s, y.s.affinePreimage(alpha, beta))
-		return diagRect(base, x.s0, x.c0, x.s1, x.c1), true
 	}
-	// Crossing lines: a single candidate v.
-	num := delta - x.c1
-	den := x.s1 - sigma // +-2
-	if num%den != 0 {
+	return true
+}
+
+// intersectRect intersects two rects. ok == false means provably empty;
+// a true result may still count to zero.
+func intersectRect(x, y rect) (rect, bool) {
+	r := rect{a: intersectSets(x.a, y.a), b: intersectSets(x.b, y.b)}
+	r.dlo, r.dhi = maxInt(x.dlo, y.dlo), minInt(x.dhi, y.dhi)
+	r.slo, r.shi = maxInt(x.slo, y.slo), minInt(x.shi, y.shi)
+	if r.a.hi < r.a.lo || r.b.hi < r.b.lo || r.dlo > r.dhi || r.slo > r.shi {
 		return rect{}, false
 	}
-	v := num / den
-	if !x.s.contains(v) || !y.s.contains(alpha*v+beta) {
-		return rect{}, false
+	return r, true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
 	}
-	return diagRect(singletonSet(v), x.s0, x.c0, x.s1, x.c1), true
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // unionCount returns |union of rects| by inclusion-exclusion. The rect
@@ -207,4 +371,188 @@ func unionCount(rs []rect) int64 {
 		return sum
 	}
 	return rec(0, nil, 0)
+}
+
+// ------------------------------------------------- windowed AP sums --
+
+// affBound is a window endpoint affine in the outer variable v:
+// value(v) = c + k*v with k in {-1, 0, +1}.
+type affBound struct{ c, k int }
+
+// winTerm is one factor of a windowed product: the count of set members
+// inside [max of los, min of his] (either side open when empty).
+type winTerm struct {
+	set      iset
+	los, his []affBound
+}
+
+func (t winTerm) eval(v int) int64 {
+	lo, hi := t.set.lo, t.set.hi
+	for _, b := range t.los {
+		if x := b.c + b.k*v; x > lo {
+			lo = x
+		}
+	}
+	for _, b := range t.his {
+		if x := b.c + b.k*v; x < hi {
+			hi = x
+		}
+	}
+	return t.set.countIn(lo, hi)
+}
+
+// sumWindowedDirectCap: spans at most this wide are summed by direct
+// enumeration of v; the closed form takes over beyond it.
+const sumWindowedDirectCap = 64
+
+// sumWindowed returns sum over v in xs of the product over terms of
+// |term.set ∩ [max(term.los(v)), min(term.his(v))]|, in closed form.
+//
+// On any interval of v where no window endpoint crosses another or
+// crosses its set's hull, and restricted to one residue class of the
+// combined period, each factor is affine in v (shifting a window by the
+// period over a periodic set changes the count linearly), so the product
+// is a polynomial of degree <= len(terms). The sum is then recovered
+// from len(terms)+1 samples per (interval, class) by Newton forward
+// differences and hockey-stick binomial sums — exactly the
+// "sums of arithmetic-progression counts" closed form.
+func sumWindowed(xs iset, terms []winTerm) int64 {
+	if xs.hi < xs.lo {
+		return 0
+	}
+	prodAt := func(v int) int64 {
+		if !xs.res[mod(v, xs.p)] {
+			return 0
+		}
+		acc := int64(1)
+		for _, t := range terms {
+			acc *= t.eval(v)
+			if acc == 0 {
+				return 0
+			}
+		}
+		return acc
+	}
+	if xs.hi-xs.lo < sumWindowedDirectCap {
+		var sum int64
+		for v := xs.lo; v <= xs.hi; v++ {
+			sum += prodAt(v)
+		}
+		return sum
+	}
+
+	period := xs.p
+	for _, t := range terms {
+		period = lcmInt(period, t.set.p)
+	}
+
+	// Interval starts: v values where some endpoint ordering can change.
+	starts := []int{xs.lo}
+	addCross := func(v int) {
+		for _, d := range [3]int{-1, 0, 1} {
+			if x := v + d; x > xs.lo && x <= xs.hi {
+				starts = append(starts, x)
+			}
+		}
+	}
+	for _, t := range terms {
+		bounds := append(append([]affBound{}, t.los...), t.his...)
+		for i, b1 := range bounds {
+			if b1.k != 0 {
+				// Crossing the set hull (clamp side changes).
+				addCross(b1.k * (t.set.lo - b1.c))
+				addCross(b1.k * (t.set.hi - b1.c))
+			}
+			for _, b2 := range bounds[i+1:] {
+				if b1.k == b2.k {
+					continue
+				}
+				// c1 + k1 v = c2 + k2 v at v = (c2-c1)/(k1-k2).
+				num, den := b2.c-b1.c, b1.k-b2.k
+				addCross(floorDiv(num, den))
+			}
+		}
+	}
+	sortInts(starts)
+	starts = dedupInts(starts)
+
+	deg := len(terms)
+	var sum int64
+	samples := make([]int64, deg+1)
+	for i, l := range starts {
+		h := xs.hi
+		if i+1 < len(starts) {
+			h = starts[i+1] - 1
+		}
+		for rho := 0; rho < period; rho++ {
+			if !xs.res[rho%xs.p] {
+				continue
+			}
+			v0 := l + mod(rho-l, period)
+			if v0 > h {
+				continue
+			}
+			n := int64((h-v0)/period) + 1
+			if n <= int64(deg)+1 {
+				for t := int64(0); t < n; t++ {
+					sum += prodAt(v0 + int(t)*period)
+				}
+				continue
+			}
+			for t := 0; t <= deg; t++ {
+				samples[t] = prodAt(v0 + t*period)
+			}
+			// Forward differences in place, then the hockey-stick sum:
+			// sum over t < n of C(t,k) equals C(n, k+1).
+			for k := 1; k <= deg; k++ {
+				for j := deg; j >= k; j-- {
+					samples[j] -= samples[j-1]
+				}
+			}
+			for k := 0; k <= deg; k++ {
+				sum += samples[k] * binom(n, int64(k)+1)
+			}
+		}
+	}
+	return sum
+}
+
+// floorDiv returns floor(a/b) for b != 0.
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// binom returns C(n, k) exactly; the running product is divisible by i
+// at each step.
+func binom(n, k int64) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	b := int64(1)
+	for i := int64(1); i <= k; i++ {
+		b = b * (n - i + 1) / i
+	}
+	return b
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }

@@ -1,0 +1,87 @@
+// Symbolic redistribution pricing: a scheme change's bottleneck load as
+// a piecewise polynomial in the size parameter.
+//
+// dist.RedistLoadsScaled reports the per-processor redistribution bill
+// in exact rationals — integer numerators over one common replica
+// denominator. For a frozen plan the denominator is a product of grid
+// extents and thus independent of m, so the bottleneck numerator is an
+// integer function of m with the same piecewise-polynomial structure as
+// the nest counts, and the same forward-difference fit applies. After
+// RedistLoadsPoly, pricing a scheme change at any m is O(degree)
+// arithmetic — no element enumeration, no numeric RedistLoads call.
+package cost
+
+import (
+	"fmt"
+
+	"dmcc/internal/dist"
+)
+
+// SymbolicLoads is one scheme change's redistribution bill as
+// polynomials in m: the bottleneck per-processor numerator and the
+// total word count over the m-independent replica denominator Den.
+type SymbolicLoads struct {
+	MaxNum *PiecewisePoly `json:"maxNum"`
+	Words  *PiecewisePoly `json:"words"`
+	Den    int64          `json:"den"`
+}
+
+// MaxLoadAt is the bottleneck per-processor load at size m, in words —
+// the dist.Loads.MaxLoad counterpart, computed as one float division so
+// it reproduces the numeric accumulation bit for bit whenever the
+// fitting-time validation accepted the fit.
+func (sl *SymbolicLoads) MaxLoadAt(m int) (float64, error) {
+	n, err := sl.MaxNum.Eval(m)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) / float64(sl.Den), nil
+}
+
+// WordsAt is the total redistributed word count at size m.
+func (sl *SymbolicLoads) WordsAt(m int) (int64, error) {
+	return sl.Words.Eval(m)
+}
+
+// RedistLoadsPoly fits a redistribution's bottleneck numerator and
+// total words as piecewise polynomials in m. sample must price the
+// (possibly multi-array) scheme change at one size via
+// dist.RedistLoadsScaled; the replica denominator must not vary with m
+// — it cannot, for schemes re-derived from one frozen plan, so a drift
+// marks misuse and fails the fit.
+func RedistLoadsPoly(sample func(m int) (dist.ScaledLoads, error), minM, period, maxDeg, validate int) (*SymbolicLoads, error) {
+	out := &SymbolicLoads{}
+	cache := map[int]dist.ScaledLoads{}
+	at := func(m int) (dist.ScaledLoads, error) {
+		if sl, ok := cache[m]; ok {
+			return sl, nil
+		}
+		sl, err := sample(m)
+		if err != nil {
+			return dist.ScaledLoads{}, err
+		}
+		if out.Den == 0 {
+			out.Den = sl.Den
+		} else if sl.Den != out.Den {
+			return dist.ScaledLoads{}, fmt.Errorf("cost: replica denominator varies with m (%d vs %d) — loads are not polynomial", out.Den, sl.Den)
+		}
+		cache[m] = sl
+		return sl, nil
+	}
+	var err error
+	out.MaxNum, err = FitPiecewise(func(m int) (int64, error) {
+		sl, err := at(m)
+		return sl.MaxNum(), err
+	}, minM, period, maxDeg, validate)
+	if err != nil {
+		return nil, err
+	}
+	out.Words, err = FitPiecewise(func(m int) (int64, error) {
+		sl, err := at(m)
+		return sl.Words, err
+	}, minM, period, maxDeg, validate)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

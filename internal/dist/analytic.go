@@ -159,6 +159,152 @@ func RedistLoads(gFrom, gTo *grid.Grid, shape []int, from, to Scheme) (Loads, er
 	return l, nil
 }
 
+// ScaledLoads are redistribution loads as exact rationals: every
+// per-processor value is Num/Den words under one common denominator.
+// The denominator is the replica count of the source scheme (the even
+// sender split of RedistLoads), so it depends only on the schemes —
+// never on the array extent — which is what lets a plan evaluator fit
+// the numerators as integer polynomials in the problem size.
+type ScaledLoads struct {
+	// In and Out are load numerators per rank, scaled by Den.
+	In, Out map[int]int64
+	// Den is the common denominator (a count of replica ranks).
+	Den int64
+	// Words is the total (integral) word count on the wire.
+	Words int64
+}
+
+// Add accumulates other into l (multi-array redistribution), rescaling
+// both sides to the least common denominator.
+func (l *ScaledLoads) Add(other ScaledLoads) {
+	if other.Den != l.Den {
+		d := lcm64(l.Den, other.Den)
+		if f := d / l.Den; f > 1 {
+			for r := range l.In {
+				l.In[r] *= f
+			}
+			for r := range l.Out {
+				l.Out[r] *= f
+			}
+			l.Den = d
+		}
+	}
+	f := l.Den / other.Den
+	for r, v := range other.In {
+		l.In[r] += v * f
+	}
+	for r, v := range other.Out {
+		l.Out[r] += v * f
+	}
+	l.Words += other.Words
+}
+
+// MaxNum returns the largest in/out numerator: the bottleneck load is
+// MaxNum/Den words.
+func (l ScaledLoads) MaxNum() int64 {
+	var mx int64
+	for _, v := range l.In {
+		if v > mx {
+			mx = v
+		}
+	}
+	for _, v := range l.Out {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// RedistLoadsScaled is RedistLoads in exact integer arithmetic: the same
+// per-processor loads (including the fractional sender splits over
+// replicated source owners) as numerators over a common denominator.
+// float64(num)/float64(Den) reproduces the float accumulation exactly
+// whenever the replica counts are powers of two (the splits are then
+// dyadic); callers that need bit-equality with RedistLoads on other
+// grids must validate it.
+func RedistLoadsScaled(gFrom, gTo *grid.Grid, shape []int, from, to Scheme) (ScaledLoads, error) {
+	if gFrom.Size() != gTo.Size() {
+		return ScaledLoads{}, fmt.Errorf("dist: redistribution between %s and %s: processor counts differ", gFrom, gTo)
+	}
+	if err := from.Validate(gFrom, shape); err != nil {
+		return ScaledLoads{}, fmt.Errorf("dist: source scheme: %v", err)
+	}
+	if err := to.Validate(gTo, shape); err != nil {
+		return ScaledLoads{}, fmt.Errorf("dist: destination scheme: %v", err)
+	}
+	perDim := make([][]coordPair, len(shape))
+	for k := range shape {
+		dF, dT := from.Dims[k], to.Dims[k]
+		perDim[k] = dimJointCounts(dF, gFrom.Extent(dF.GridDim), dT, gTo.Extent(dT.GridDim), shape[k])
+	}
+
+	sl := ScaledLoads{In: map[int]int64{}, Out: map[int]int64{}, Den: 1}
+	rawF := make([]int, len(shape))
+	rawT := make([]int, len(shape))
+	emit := func(cnt int64) {
+		coordsF := coordsFromRaw(from, gFrom, rawF)
+		coordsT := coordsFromRaw(to, gTo, rawT)
+		dstRanks := ranksFor(gTo, coordsT)
+		needy := 0
+		for _, d := range dstRanks {
+			owned := true
+			for gd, cf := range coordsF {
+				if cf != All && gFrom.Coord(d, gd) != cf {
+					owned = false
+					break
+				}
+			}
+			if owned {
+				continue
+			}
+			needy++
+			sl.In[d] += cnt * sl.Den
+		}
+		if needy == 0 {
+			return
+		}
+		srcRanks := ranksFor(gFrom, coordsF)
+		if w := int64(len(srcRanks)); w != sl.Den {
+			// The replica structure of one scheme is uniform over its
+			// elements, so this rescale fires at most once.
+			l := lcm64(sl.Den, w)
+			if f := l / sl.Den; f > 1 {
+				for r := range sl.In {
+					sl.In[r] *= f
+				}
+				for r := range sl.Out {
+					sl.Out[r] *= f
+				}
+				sl.Den = l
+			}
+		}
+		share := cnt * int64(needy) * (sl.Den / int64(len(srcRanks)))
+		for _, r := range srcRanks {
+			sl.Out[r] += share
+		}
+		sl.Words += cnt * int64(needy)
+	}
+	switch len(shape) {
+	case 1:
+		for _, c0 := range perDim[0] {
+			rawF[0], rawT[0] = c0.aF, c0.aT
+			emit(c0.cnt)
+		}
+	case 2:
+		for _, c0 := range perDim[0] {
+			rawF[0], rawT[0] = c0.aF, c0.aT
+			for _, c1 := range perDim[1] {
+				rawF[1], rawT[1] = c1.aF, c1.aT
+				emit(c0.cnt * c1.cnt)
+			}
+		}
+	default:
+		return ScaledLoads{}, fmt.Errorf("dist: analytic redistribution supports 1-D and 2-D arrays, got %d-D", len(shape))
+	}
+	return sl, nil
+}
+
 // RedistLoadsExact is the element-enumeration reference oracle for
 // RedistLoads: identical semantics (including the even sender-side
 // spread over replicated source owners), computed by visiting every
@@ -439,6 +585,14 @@ func sortPairs(ps []coordPair) {
 			ps[j], ps[j-1] = ps[j-1], ps[j]
 		}
 	}
+}
+
+func lcm64(a, b int64) int64 {
+	g, x := a, b
+	for x != 0 {
+		g, x = x, g%x
+	}
+	return a / g * b
 }
 
 func gcd(a, b int) int {

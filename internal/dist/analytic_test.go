@@ -214,3 +214,77 @@ func TestRedistLoadsReplicatedSender(t *testing.T) {
 	want := RedistLoadsExact(g, g, []int{8}, oneOwner, repl)
 	loadsEqual(t, l, want)
 }
+
+// TestRedistLoadsScaledMatchesFloat: the integer-scaled loads are the
+// same rationals the float calculator accumulates — exactly equal on
+// power-of-two replica counts (dyadic splits), within one part in 1e12
+// otherwise — with a scheme-constant denominator and integral receives.
+func TestRedistLoadsScaledMatchesFloat(t *testing.T) {
+	type gridPair struct{ f, t *grid.Grid }
+	cases := []struct {
+		name  string
+		grids []gridPair
+		shape []int
+		pow2  bool
+	}{
+		{"1d-p4", []gridPair{{grid.New(4), grid.New(4)}}, []int{17}, true},
+		{"1d-p6", []gridPair{{grid.New(6), grid.New(6)}}, []int{16}, false},
+		{"2d-2x2", []gridPair{{grid.New(2, 2), grid.New(2, 2)}}, []int{8, 6}, true},
+		{"2d-cross-grid", []gridPair{
+			{grid.New(4, 1), grid.New(1, 4)},
+			{grid.New(2, 2), grid.New(4, 1)},
+		}, []int{7, 7}, true},
+		{"1d-on-2d-grid", []gridPair{{grid.New(2, 3), grid.New(3, 2)}}, []int{13}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 60; trial++ {
+				gp := tc.grids[trial%len(tc.grids)]
+				from := randomScheme(rng, gp.f, tc.shape)
+				to := randomScheme(rng, gp.t, tc.shape)
+				want, err := RedistLoads(gp.f, gp.t, tc.shape, from, to)
+				if err != nil {
+					t.Fatalf("trial %d: RedistLoads: %v", trial, err)
+				}
+				got, err := RedistLoadsScaled(gp.f, gp.t, tc.shape, from, to)
+				if err != nil {
+					t.Fatalf("trial %d: RedistLoadsScaled: %v", trial, err)
+				}
+				if got.Den < 1 {
+					t.Fatalf("trial %d: Den = %d", trial, got.Den)
+				}
+				if float64(got.Words) != want.Words {
+					t.Fatalf("trial %d: Words = %d, want %g", trial, got.Words, want.Words)
+				}
+				check := func(side string, nums map[int]int64, floats map[int]float64) {
+					for r := int64(0); r < int64(gp.f.Size()); r++ {
+						g := float64(nums[int(r)]) / float64(got.Den)
+						w := floats[int(r)]
+						if tc.pow2 && isPow2(got.Den) {
+							if g != w {
+								t.Fatalf("trial %d: %s[%d] = %v, want %v exactly (den %d)", trial, side, r, g, w, got.Den)
+							}
+						} else if diff := g - w; diff > 1e-9 || diff < -1e-9 {
+							t.Fatalf("trial %d: %s[%d] = %v, want %v (den %d)", trial, side, r, g, w, got.Den)
+						}
+					}
+				}
+				check("in", got.In, want.In)
+				check("out", got.Out, want.Out)
+				// Receives are always whole words.
+				for r, v := range got.In {
+					if v%got.Den != 0 {
+						t.Fatalf("trial %d: in[%d] = %d/%d is fractional", trial, r, v, got.Den)
+					}
+				}
+				// The bottleneck agrees with the float calculator's.
+				if g, w := float64(got.MaxNum())/float64(got.Den), want.MaxLoad(); g-w > 1e-9 || w-g > 1e-9 {
+					t.Fatalf("trial %d: MaxNum/Den = %v, MaxLoad = %v", trial, g, w)
+				}
+			}
+		})
+	}
+}
+
+func isPow2(v int64) bool { return v > 0 && v&(v-1) == 0 }

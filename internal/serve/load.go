@@ -6,11 +6,16 @@
 // existing -json / -baseline machinery gates serving regressions the
 // same way it gates compile and exec regressions.
 //
-// Two distributions, modeled on hotkey/uniform cache benchmarking:
+// Three distributions, modeled on hotkey/uniform cache benchmarking:
 //
 //   - hotkey: HotFrac of requests hit one plan (the "one program,
 //     millions of bindings" serving shape);
-//   - uniform: requests spread evenly over the key set.
+//   - uniform: requests spread evenly over the key set;
+//   - coldm: uniform over the key set with a fresh, never-seen size m
+//     on every request — the per-plan (plan, m) memo never hits, so
+//     every request pays a full polynomial evaluation. This is the
+//     honest measure of the fitted evaluator itself (an m-sweep client
+//     never repeats a size).
 //
 // Deterministic row metrics (requests, errors, misses_after_warm) are
 // baseline-gated; latency and throughput columns are named *_ns /
@@ -210,6 +215,11 @@ func Load(cfg LoadConfig, dist string) (*LoadSummary, error) {
 					id = ids[0]
 				}
 				m := costMs[i%len(costMs)]
+				if dist == "coldm" {
+					// A unique size per request, beyond every primed value,
+					// so no (plan, m) memo entry can serve it.
+					m = 5*cfg.M + i
+				}
 				url := fmt.Sprintf("%s/cost?key=%s&m=%d", cfg.BaseURL, id, m)
 				t0 := time.Now()
 				resp, err := client.Get(url)

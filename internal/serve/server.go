@@ -85,6 +85,8 @@ type Server struct {
 
 	compiles, compileHits, planThaws, costEvals, prewarmedPlans atomic.Int64
 
+	engines core.EngineStats // shared by every compiler this server builds
+
 	epCompile, epPlan, epCost, epArtifact endpoint
 
 	mu    sync.Mutex
@@ -245,6 +247,7 @@ func (s *Server) compiler(req *CompileRequest, p *ir.Program) (*core.Compiler, e
 	c := core.NewCompiler(p, cost.Unit(), map[string]int{p.Params[0]: req.M}, req.N)
 	c.UseGreedyAlign = req.Greedy
 	c.Jobs = s.cfg.Jobs
+	c.Engines = &s.engines
 	switch req.Engine {
 	case "", "fast":
 	case "pr1":
@@ -541,6 +544,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 			CostEvals:      s.costEvals.Load(),
 			PlansLive:      live,
 			PrewarmedPlans: s.prewarmedPlans.Load(),
+			Engines:        s.engines.Snapshot(),
 		},
 		Endpoints: map[string]EndpointSnapshot{
 			"compile":  s.epCompile.snapshot(),

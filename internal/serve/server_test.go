@@ -10,6 +10,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"dmcc/internal/artifact"
 	"dmcc/internal/core"
@@ -182,6 +183,36 @@ func TestWarmPathCounters(t *testing.T) {
 	}
 }
 
+// stripSchema / setSchema rewrite the schema field of a frozen-plan
+// JSON document, emulating payloads written by older builds.
+func stripSchema(t *testing.T, planRaw []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(planRaw, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "schema")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func setSchema(t *testing.T, planRaw []byte, v int) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(planRaw, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["schema"] = json.RawMessage(fmt.Sprintf("%d", v))
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 // Malformed and stale frozen plans crossing the HTTP boundary must be
 // clean 4xx responses — never panics, never 5xx.
 func TestMalformedPlanRejected(t *testing.T) {
@@ -198,7 +229,12 @@ func TestMalformedPlanRejected(t *testing.T) {
 	}{
 		{"not json at all", `{"prog":"jacobi","m":16,"n":4,"plan":"not-a-plan"}`, http.StatusUnprocessableEntity},
 		{"wrong baseM", `{"prog":"jacobi","m":32,"n":4,"plan":` + string(planRaw) + `}`, http.StatusUnprocessableEntity},
-		{"segments do not tile", `{"prog":"jacobi","m":16,"n":4,"plan":{"baseM":16,"segments":[{"start":5,"len":1,"shape":[1,4]}]}}`, http.StatusUnprocessableEntity},
+		{"segments do not tile", `{"prog":"jacobi","m":16,"n":4,"plan":{"schema":2,"baseM":16,"segments":[{"start":5,"len":1,"shape":[1,4]}]}}`, http.StatusUnprocessableEntity},
+		// A plan frozen before the symbolic-ChangeCost schema bump (no
+		// schema field, or an older number) must be refused outright —
+		// serving it would silently revive the numeric boundary pricing.
+		{"pre-bump plan (no schema)", `{"prog":"jacobi","m":16,"n":4,"plan":` + string(stripSchema(t, planRaw)) + `}`, http.StatusUnprocessableEntity},
+		{"pre-bump plan (schema 1)", `{"prog":"jacobi","m":16,"n":4,"plan":` + string(setSchema(t, planRaw, 1)) + `}`, http.StatusUnprocessableEntity},
 		{"empty plan", `{"prog":"jacobi","m":16,"n":4}`, http.StatusBadRequest},
 		{"unknown program", `{"prog":"nope","m":16,"n":4,"plan":` + string(planRaw) + `}`, http.StatusBadRequest},
 		{"garbage body", `{{{`, http.StatusBadRequest},
@@ -339,5 +375,69 @@ func TestLoadHarness(t *testing.T) {
 	}
 	if len(regs) != 0 {
 		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+}
+
+// TestGaussCostColdMicroseconds: with the symbolic ChangeCost fit, a
+// gauss plan's two-segment boundary is priced by polynomial evaluation,
+// so a COLD /cost query — a size never priced before, no memo — must
+// come back in well under a millisecond. This is the acceptance check
+// for "no numeric RedistLoads on the query path": the numeric
+// calculator alone costs milliseconds per boundary at these sizes.
+func TestGaussCostColdMicroseconds(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	cr := compileProg(t, ts, "gauss", 256, 16)
+	if cr.FitErr != "" {
+		t.Fatalf("gauss fit declined: %s", cr.FitErr)
+	}
+	// Every m below is distinct and previously unseen, so each EvalNs is
+	// a cold evaluation; take the minimum to shed scheduler noise.
+	best := int64(1 << 62)
+	for _, m := range []int{257, 311, 512, 1000, 4096, 65536} {
+		resp, raw := getBody(t, fmt.Sprintf("%s/cost?key=%s&m=%d", ts.URL, cr.ID, m))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /cost m=%d: %s: %s", m, resp.Status, raw)
+		}
+		var rep CostReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Total <= 0 {
+			t.Fatalf("m=%d: nonpositive total %g", m, rep.Total)
+		}
+		if rep.EvalNs < best {
+			best = rep.EvalNs
+		}
+	}
+	if best >= int64(time.Millisecond) {
+		t.Fatalf("cold gauss /cost evaluation took %dns at best; want < 1ms", best)
+	}
+}
+
+// TestMetricsEngineCounters: the daemon's compiles run entirely on the
+// analytic counting engine for the builtin programs — the /metrics
+// document proves it, and a fastwalk or exact fallback there is a
+// counting-engine regression.
+func TestMetricsEngineCounters(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	compileProg(t, ts, "gauss", 64, 16)
+	compileProg(t, ts, "jacobi", 16, 4)
+	eng := s.Metrics().Server.Engines
+	if eng["analytic_hits"] == 0 {
+		t.Fatalf("no analytic hits recorded: %v", eng)
+	}
+	if eng["fastwalk_fallbacks"] != 0 || eng["exact_fallbacks"] != 0 {
+		t.Fatalf("builtin compiles fell back: %v", eng)
+	}
+	resp, raw := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	var ms MetricsSnapshot
+	if err := json.Unmarshal(raw, &ms); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Server.Engines["analytic_hits"] != eng["analytic_hits"] {
+		t.Fatalf("served engines %v != snapshot %v", ms.Server.Engines, eng)
 	}
 }

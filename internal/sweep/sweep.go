@@ -436,7 +436,7 @@ func Symbolic(mList, nList []int, opt Options) (*Result, error) {
 		n  int
 	}
 	var units []unit
-	for _, mk := range []func() *ir.Program{ir.Jacobi, ir.SOR} {
+	for _, mk := range []func() *ir.Program{ir.Jacobi, ir.SOR, ir.Gauss} {
 		for _, n := range nList {
 			units = append(units, unit{mk, n})
 		}
@@ -503,9 +503,18 @@ func PlanFor(c *core.Compiler, baseM int, opt Options) (pe *core.PlanEvaluator, 
 		if err != nil {
 			return nil, "", err
 		}
+		// Some plans have a pre-polynomial transient (counts settle into
+		// a fixed polynomial only past some size); retry the fit from
+		// higher floors before declining. EvalAt prices sizes below the
+		// accepted floor numerically, so a raised floor stays exact.
 		fitErr := ""
-		if err := pe.Fit(baseM, 3, 2); err != nil {
-			fitErr = err.Error()
+		for _, minM := range []int{baseM, 2 * baseM, 4 * baseM} {
+			if err := pe.Fit(minM, 3, 2); err != nil {
+				fitErr = err.Error()
+				continue
+			}
+			fitErr = ""
+			break
 		}
 		return pe, fitErr, nil
 	}
